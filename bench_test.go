@@ -1,0 +1,246 @@
+// Benchmarks regenerating every table and figure of the RTVirt paper's
+// evaluation (§4). Each benchmark runs the corresponding experiment on the
+// simulated host and reports the paper's headline metric alongside the
+// wall-clock cost of the simulation itself.
+//
+// Run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// The reported custom metrics are simulated quantities (latencies in
+// simulated microseconds, bandwidth in CPUs, miss ratios in percent); see
+// EXPERIMENTS.md for the full paper-versus-measured record.
+package rtvirt_test
+
+import (
+	"strings"
+	"testing"
+
+	"rtvirt"
+)
+
+// metricName builds a whitespace-free custom metric unit.
+func metricName(parts ...string) string {
+	return strings.ReplaceAll(strings.Join(parts, "-"), " ", "")
+}
+
+// BenchmarkFigure1 regenerates the motivating example: the uncoordinated
+// two-level EDF baseline versus RTVirt.
+func BenchmarkFigure1(b *testing.B) {
+	var lastBaseline, lastRTVirt float64
+	for i := 0; i < b.N; i++ {
+		r := rtvirt.Figure1(uint64(i+1), 30*rtvirt.Second)
+		lastBaseline = r.Baseline["RTA2"]
+		lastRTVirt = r.RTVirt["RTA2"]
+	}
+	b.ReportMetric(100*lastBaseline, "baseline-RTA2-miss-%")
+	b.ReportMetric(100*lastRTVirt, "rtvirt-RTA2-miss-%")
+}
+
+// BenchmarkTable2 regenerates the NH-Dec configuration table.
+func BenchmarkTable2(b *testing.B) {
+	var row rtvirt.Figure3Row
+	for i := 0; i < b.N; i++ {
+		cfg := rtvirt.DefaultFigure3Config()
+		cfg.Seed = uint64(i + 1)
+		cfg.Duration = 20 * rtvirt.Second
+		row = rtvirt.Table2(cfg)
+	}
+	b.ReportMetric(row.RTAReq, "rta-req-cpus")
+	b.ReportMetric(row.RTXenAllocated, "rtxen-alloc-cpus")
+	b.ReportMetric(row.RTVirtAllocated, "rtvirt-alloc-cpus")
+}
+
+// BenchmarkFigure3 regenerates the periodic bandwidth comparison across
+// all six Table-1 groups.
+func BenchmarkFigure3(b *testing.B) {
+	var rows []rtvirt.Figure3Row
+	for i := 0; i < b.N; i++ {
+		cfg := rtvirt.DefaultFigure3Config()
+		cfg.Seed = uint64(i + 1)
+		cfg.Duration = 20 * rtvirt.Second
+		rows = rtvirt.Figure3(cfg)
+	}
+	var claimed, virt float64
+	var misses int
+	for _, r := range rows {
+		claimed += r.RTXenClaimed
+		virt += r.RTVirtAllocated
+		misses += r.RTVirtMisses.Missed + r.RTXenMisses.Missed
+	}
+	b.ReportMetric(100*(1-virt/claimed), "rtvirt-bandwidth-saving-%")
+	b.ReportMetric(float64(misses), "total-deadline-misses")
+}
+
+// BenchmarkSporadic regenerates the §4.2 sporadic-RTA experiment.
+func BenchmarkSporadic(b *testing.B) {
+	var rows []rtvirt.Figure3Row
+	for i := 0; i < b.N; i++ {
+		cfg := rtvirt.DefaultFigure3Config()
+		cfg.Seed = uint64(i + 1)
+		cfg.Sporadic = true
+		cfg.Requests = 40
+		cfg.Duration = 25 * rtvirt.Second
+		rows = rtvirt.Figure3(cfg)
+	}
+	var misses, judged int
+	for _, r := range rows {
+		misses += r.RTVirtMisses.Missed + r.RTXenMisses.Missed
+		judged += r.RTVirtMisses.Judged + r.RTXenMisses.Judged
+	}
+	b.ReportMetric(float64(misses), "total-deadline-misses")
+	b.ReportMetric(float64(judged), "requests-judged")
+}
+
+// BenchmarkFigure4 regenerates the dynamic video-streaming experiment.
+func BenchmarkFigure4(b *testing.B) {
+	var r rtvirt.Figure4Result
+	for i := 0; i < b.N; i++ {
+		cfg := rtvirt.DefaultFigure4Config()
+		cfg.Seed = uint64(i + 1)
+		cfg.Duration = 2 * rtvirt.Minute
+		r = rtvirt.Figure4(cfg)
+	}
+	b.ReportMetric(100*r.Misses.Ratio(), "miss-%")
+	b.ReportMetric(r.WorstMissPct, "worst-task-miss-%")
+	b.ReportMetric(r.AvgAllocated, "avg-alloc-cpus")
+}
+
+// BenchmarkTable4 regenerates the dedicated-CPU memcached latency table.
+func BenchmarkTable4(b *testing.B) {
+	var rows []rtvirt.Table4Row
+	for i := 0; i < b.N; i++ {
+		rows = rtvirt.Table4(uint64(i+1), 60*rtvirt.Second)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.P999.Micros(), metricName(string(r.Scheduler), "p99.9-µs"))
+	}
+}
+
+// BenchmarkFigure5a regenerates the non-RTA contention experiment.
+func BenchmarkFigure5a(b *testing.B) {
+	var rows []rtvirt.Figure5Row
+	for i := 0; i < b.N; i++ {
+		cfg := rtvirt.DefaultFigure5Config()
+		cfg.Seed = uint64(i + 1)
+		cfg.Duration = 60 * rtvirt.Second
+		rows = rtvirt.Figure5a(cfg)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.P999.Micros(), metricName(string(r.Arm), "p99.9-µs"))
+	}
+}
+
+// BenchmarkFigure5b regenerates the periodic contention experiment.
+func BenchmarkFigure5b(b *testing.B) {
+	var rows []rtvirt.Figure5Row
+	for i := 0; i < b.N; i++ {
+		cfg := rtvirt.DefaultFigure5Config()
+		cfg.Seed = uint64(i + 1)
+		cfg.Duration = 30 * rtvirt.Second
+		rows = rtvirt.Figure5b(cfg)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.P999.Micros(), metricName(string(r.Arm), "p99.9-µs"))
+		b.ReportMetric(100*r.VideoMisses.Ratio(), metricName(string(r.Arm), "video-miss-%"))
+	}
+}
+
+// BenchmarkTable6MultiRTA regenerates the Multi-RTA VMs overhead scenario.
+func BenchmarkTable6MultiRTA(b *testing.B) {
+	var rows []rtvirt.Table6Row
+	for i := 0; i < b.N; i++ {
+		cfg := rtvirt.DefaultTable6Config()
+		cfg.Seed = uint64(i + 1)
+		cfg.Duration = 10 * rtvirt.Second
+		rows = rtvirt.Table6(rtvirt.MultiRTAVMs, cfg)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.OverheadPct, r.Framework+"-overhead-%")
+		b.ReportMetric(float64(r.RTAsAdmitted), r.Framework+"-rtas")
+	}
+}
+
+// BenchmarkTable6SingleRTA regenerates the Single-RTA VMs overhead
+// scenario.
+func BenchmarkTable6SingleRTA(b *testing.B) {
+	var rows []rtvirt.Table6Row
+	for i := 0; i < b.N; i++ {
+		cfg := rtvirt.DefaultTable6Config()
+		cfg.Seed = uint64(i + 1)
+		cfg.Duration = 10 * rtvirt.Second
+		rows = rtvirt.Table6(rtvirt.SingleRTAVMs, cfg)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.OverheadPct, r.Framework+"-overhead-%")
+		b.ReportMetric(float64(r.RTAsAdmitted), r.Framework+"-rtas")
+	}
+}
+
+// BenchmarkAblations runs the design-choice sweeps DESIGN.md calls out:
+// minimum global slice, budget slack, server flavour, work conservation,
+// and the §6 idle tax.
+func BenchmarkAblationMinSlice(b *testing.B) {
+	var rows []rtvirt.AblationRow
+	for i := 0; i < b.N; i++ {
+		rows = rtvirt.AblationMinSlice(uint64(i+1), 5*rtvirt.Second)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MissPct, metricName(r.Label, "miss-%"))
+	}
+}
+
+func BenchmarkAblationSlack(b *testing.B) {
+	var rows []rtvirt.AblationRow
+	for i := 0; i < b.N; i++ {
+		rows = rtvirt.AblationSlack(uint64(i+1), 10*rtvirt.Second)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Extra, metricName(r.Label, "alloc-cpus"))
+	}
+}
+
+func BenchmarkAblationServerFlavour(b *testing.B) {
+	var rows []rtvirt.AblationRow
+	for i := 0; i < b.N; i++ {
+		rows = rtvirt.AblationServerFlavour(uint64(i+1), 20*rtvirt.Second)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MissPct, metricName(r.Label, "RTA2-miss-%"))
+	}
+}
+
+func BenchmarkAblationWorkConserving(b *testing.B) {
+	var rows []rtvirt.AblationRow
+	for i := 0; i < b.N; i++ {
+		rows = rtvirt.AblationWorkConserving(uint64(i+1), 20*rtvirt.Second)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.P999.Micros(), metricName(r.Label, "p99.9-µs"))
+	}
+}
+
+func BenchmarkAblationIdleTax(b *testing.B) {
+	var rows []rtvirt.AblationRow
+	for i := 0; i < b.N; i++ {
+		rows = rtvirt.AblationIdleTax(uint64(i+1), 4*rtvirt.Second)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Extra, metricName(r.Label, "admitted"))
+	}
+}
+
+// BenchmarkAblationGuestScheduler compares the pEDF guest process
+// scheduler against the §6 gEDF alternative: both keep the test set
+// schedulable; the metric rows expose the guest-level switch rates, where
+// gEDF trades cross-VCPU job migration for fewer same-VCPU preemptions.
+func BenchmarkAblationGuestScheduler(b *testing.B) {
+	var rows []rtvirt.AblationRow
+	for i := 0; i < b.N; i++ {
+		rows = rtvirt.AblationGuestScheduler(uint64(i+1), 4*rtvirt.Second)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MissPct, metricName(r.Label, "miss-%"))
+		b.ReportMetric(r.Extra, metricName(r.Label, "guest-switches-per-s"))
+	}
+}

@@ -1,0 +1,133 @@
+// Command rtvirt-analyze performs offline admission analysis on a
+// scenario file — the role CARTS plays in the paper's workflow. It reads
+// the same JSON that cmd/rtvirt-sim runs and reports, without simulating:
+//
+//   - the minimal static RT-Xen interface (Θ, Π) for each VCPU, with
+//     tasks packed first-fit-decreasing onto as few VCPUs as feasible;
+//   - the reservation RTVirt's guest would size for the same VCPUs
+//     (budget = ⌈ΣBW·minP⌉ + slack, §3.3);
+//   - host-level admission: allocated bandwidth, claimed CPUs under both
+//     the partitioned and gEDF analyses, and the bandwidth RTVirt saves.
+//
+// The exit status gates CI: 0 when the scenario's own stack admits the
+// workload, 1 when it does not.
+//
+// Usage:
+//
+//	rtvirt-analyze scenario.json
+//	rtvirt-analyze -quantum-us 100 -json scenario.json
+//	rtvirt-analyze -period-us 5000 scenario.json   # fixed server period
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rtvirt/internal/analyze"
+	"rtvirt/internal/scenario"
+	"rtvirt/internal/simtime"
+)
+
+func main() {
+	var (
+		quantumUS = flag.Int64("quantum-us", 1000, "server budget quantum in µs (CARTS uses 1000)")
+		periodUS  = flag.Int64("period-us", 0, "fix every server period to this many µs (0 = sweep)")
+		slackUS   = flag.Int64("slack-us", 500, "RTVirt per-VCPU budget slack in µs")
+		pcpus     = flag.Int("pcpus", 0, "override the scenario's physical CPU count")
+		jsonOut   = flag.Bool("json", false, "emit the full analysis as JSON")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rtvirt-analyze [flags] <scenario.json>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := scenario.Parse(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *pcpus > 0 {
+		sc.PCPUs = *pcpus
+	}
+
+	h, err := analyze.Analyze(sc, analyze.Options{
+		Quantum: simtime.Micros(*quantumUS),
+		Period:  simtime.Micros(*periodUS),
+		Slack:   simtime.Micros(*slackUS),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(h); err != nil {
+			log.Fatal(err)
+		}
+		os.Exit(exitCode(sc, h))
+	}
+	print(h)
+	os.Exit(exitCode(sc, h))
+}
+
+// exitCode gates CI on the admission verdict of the scenario's own stack:
+// 0 when that stack admits the workload, 1 when it does not.
+func exitCode(sc scenario.Scenario, h analyze.HostAnalysis) int {
+	switch sc.Stack {
+	case "rt-xen", "rtxen", "two-level-edf", "edf":
+		if !h.RTXenAdmitted {
+			return 1
+		}
+	default: // rtvirt (and credit, which shares the fluid accounting)
+		if !h.RTVirtAdmitted {
+			return 1
+		}
+	}
+	return 0
+}
+
+func print(h analyze.HostAnalysis) {
+	for _, vm := range h.VMs {
+		fmt.Printf("VM %-14s tasks=%.3f CPUs", vm.Name, vm.TaskBW)
+		if vm.Background > 0 {
+			fmt.Printf(" (+%d background)", vm.Background)
+		}
+		fmt.Println()
+		if len(vm.RTXen) > vm.DeclaredVCPUs {
+			fmt.Printf("  note: needs %d VCPUs, scenario declares %d\n",
+				len(vm.RTXen), vm.DeclaredVCPUs)
+		}
+		for i := range vm.RTXen {
+			x, r := vm.RTXen[i], vm.RTVirt[i]
+			fmt.Printf("  vcpu%d  tasks %v\n", i, x.Tasks)
+			fmt.Printf("         rt-xen interface %v = %.3f CPUs\n", x.Interface, x.Bandwidth())
+			fmt.Printf("         rtvirt reserve   %v = %.3f CPUs\n", r.Interface, r.Bandwidth())
+		}
+	}
+	fmt.Println()
+	fmt.Printf("host: %d physical CPUs, %.3f CPUs of real-time demand\n", h.PCPUs, h.TaskBW)
+	fmt.Printf("  rt-xen  allocated %.3f CPUs, claimed %d (partitioned)",
+		h.RTXenAllocated, h.RTXenClaimedFFD)
+	if h.RTXenClaimedGEDF > 0 {
+		fmt.Printf(" / %d (gEDF)", h.RTXenClaimedGEDF)
+	}
+	fmt.Printf(" — %s\n", verdict(h.RTXenAdmitted))
+	fmt.Printf("  rtvirt  allocated %.3f CPUs — %s\n", h.RTVirtAllocated, verdict(h.RTVirtAdmitted))
+	fmt.Printf("  rtvirt bandwidth saving vs static interfaces: %.1f%%\n", h.SavingPct)
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "ADMITTED"
+	}
+	return "REJECTED"
+}

@@ -1,0 +1,150 @@
+// Command rtvirt-sim runs a user-described scenario on the simulated host
+// and reports per-task timeliness plus scheduler overhead.
+//
+// The scenario is a JSON file (see internal/scenario for the schema and
+// examples/scenarios/ for samples):
+//
+//	{
+//	  "stack": "rtvirt",            // rtvirt | rt-xen | two-level-edf | credit
+//	  "pcpus": 4,
+//	  "seconds": 30,
+//	  "seed": 1,
+//	  "vms": [
+//	    {
+//	      "name": "rt-vm",
+//	      "vcpus": 1,
+//	      "max_vcpus": 4,                                       // CPU hotplug bound
+//	      "servers": [{"budget_us": 600, "period_us": 1000}],   // rt-xen / caps
+//	      "weight": 256,                                        // credit only
+//	      "slack_us": 500,                                      // per-VCPU budget slack
+//	      "guest_sched": "pedf",                                // pedf (default) | gedf
+//	      "priority_slack": false,                              // §6 priority-scaled slack
+//	      "tasks": [
+//	        {"name": "ctl", "kind": "periodic", "slice_us": 2000,
+//	         "period_us": 10000, "phase_ms": 0, "priority": 0},
+//	        {"name": "srv", "kind": "sporadic", "slice_us": 500,
+//	         "period_us": 5000, "rate_hz": 50},
+//	        {"name": "batch", "kind": "background"}
+//	      ]
+//	    }
+//	  ]
+//	}
+//
+// Usage:
+//
+//	rtvirt-sim scenario.json
+//	rtvirt-sim -trace-csv schedule.csv scenario.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rtvirt/internal/scenario"
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/trace"
+)
+
+func main() {
+	var (
+		traceCSV  = flag.String("trace-csv", "", "write the schedule trace to this CSV file")
+		traceJSON = flag.String("trace-json", "", "write the schedule trace to this JSON file")
+		traceSVG  = flag.String("trace-svg", "", "render the schedule as an SVG Gantt chart to this file")
+		svgWindow = flag.Int64("svg-ms", 100, "SVG window length in simulated milliseconds")
+		summary   = flag.Bool("summary", false, "print a per-VCPU/per-PCPU schedule digest")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rtvirt-sim [flags] <scenario.json>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := scenario.Parse(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := scenario.Options{Trace: *traceCSV != "" || *traceJSON != "" || *traceSVG != "" || *summary}
+	res, err := scenario.Run(sc, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ran %ds on %d PCPUs under %v\n", res.Seconds, res.PCPUs, res.Stack)
+	fmt.Printf("reserved bandwidth: %.2f CPUs\n\n", res.AllocatedBW)
+	for _, tr := range res.Tasks {
+		s := tr.Stats
+		if tr.Kind == "background" {
+			fmt.Printf("%-14s %-12s background, consumed %v CPU time\n", tr.VM, tr.Name, s.TotalWork)
+			continue
+		}
+		fmt.Printf("%-14s %-12s released=%5d completed=%5d missed=%4d (%.3f%%) mean-resp=%v",
+			tr.VM, tr.Name, s.Released, s.Completed, s.Missed, 100*tr.MissRatio, s.MeanResp())
+		if tr.Latency != nil && tr.Latency.Count() > 0 {
+			fmt.Printf(" p99.9=%v", tr.Latency.Percentile(99.9))
+		}
+		fmt.Println()
+	}
+	ov := res.Overhead
+	fmt.Printf("\nscheduler overhead: %.3f%% (schedule %v, context switches %v, %d migrations, %d hypercalls)\n",
+		ov.Percent, ov.ScheduleTime, ov.CtxSwitchTime, ov.Migrations, ov.Hypercalls)
+
+	if res.Trace != nil {
+		if *summary {
+			fmt.Println()
+			if err := trace.Summarize(res.Trace).Write(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *traceCSV != "" {
+			if err := writeTrace(*traceCSV, res, true); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("schedule trace (%d records) written to %s\n", res.Trace.Len(), *traceCSV)
+		}
+		if *traceJSON != "" {
+			if err := writeTrace(*traceJSON, res, false); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("schedule trace (%d records) written to %s\n", res.Trace.Len(), *traceJSON)
+		}
+		if *traceSVG != "" {
+			sf, err := os.Create(*traceSVG)
+			if err != nil {
+				log.Fatal(err)
+			}
+			to := rtvirtTime(*svgWindow)
+			if err := res.Trace.WriteSVG(sf, res.PCPUs, 0, to); err != nil {
+				sf.Close()
+				log.Fatal(err)
+			}
+			sf.Close()
+			fmt.Printf("schedule Gantt (first %dms) written to %s\n", *svgWindow, *traceSVG)
+		}
+		if res.Trace.Dropped() > 0 {
+			fmt.Printf("note: %d trace records dropped (cap)\n", res.Trace.Dropped())
+		}
+	}
+}
+
+func writeTrace(path string, res *scenario.Result, csv bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if csv {
+		return res.Trace.WriteCSV(f)
+	}
+	return res.Trace.WriteJSON(f)
+}
+
+// rtvirtTime converts milliseconds to a simulated instant.
+func rtvirtTime(ms int64) simtime.Time { return simtime.Time(simtime.Millis(ms)) }

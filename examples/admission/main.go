@@ -1,0 +1,99 @@
+// Example admission demonstrates the offline-analysis → simulate → verify
+// workflow that the paper's evaluation uses: CARTS-style analysis decides
+// what to reserve, the simulator shows the reservation actually holds, and
+// the comparison exposes how much bandwidth each stack really needs.
+//
+// It builds a scenario in code (the same schema examples/scenarios/*.json
+// use), admission-checks it with rtvirt.AnalyzeScenario, then runs it and
+// checks the analyzer's predictions against the measured outcome.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtvirt"
+)
+
+func main() {
+	sc := rtvirt.Scenario{
+		Stack:   "rtvirt",
+		PCPUs:   4,
+		Seconds: 10,
+		Seed:    42,
+		VMs: []rtvirt.ScenarioVM{
+			{
+				Name: "plc-vm", VCPUs: 1,
+				Tasks: []rtvirt.ScenarioTask{
+					{Name: "control-loop", Kind: "periodic", SliceUS: 1500, PeriodUS: 10000},
+					{Name: "safety-check", Kind: "periodic", SliceUS: 4000, PeriodUS: 40000},
+				},
+			},
+			{
+				Name: "media-vm", VCPUs: 2,
+				Tasks: []rtvirt.ScenarioTask{
+					{Name: "vlc-24fps", Kind: "periodic", SliceUS: 19000, PeriodUS: 41000},
+					{Name: "vlc-30fps", Kind: "periodic", SliceUS: 18000, PeriodUS: 33000},
+				},
+			},
+			{
+				Name: "batch-vm", VCPUs: 1,
+				Tasks: []rtvirt.ScenarioTask{
+					{Name: "reindex", Kind: "background"},
+				},
+			},
+		},
+	}
+
+	// Step 1: offline analysis, before anything runs.
+	plan, err := rtvirt.AnalyzeScenario(sc, rtvirt.AnalyzeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== offline admission analysis ==")
+	for _, vm := range plan.VMs {
+		if len(vm.RTXen) == 0 {
+			fmt.Printf("%-10s best-effort only (%d background tasks)\n", vm.Name, vm.Background)
+			continue
+		}
+		fmt.Printf("%-10s demand %.3f CPUs on %d VCPUs\n", vm.Name, vm.TaskBW, len(vm.RTXen))
+		for i := range vm.RTXen {
+			fmt.Printf("  vcpu%d: static interface %v (%.3f CPUs)  |  rtvirt reserve %v (%.3f CPUs)\n",
+				i, vm.RTXen[i].Interface, vm.RTXen[i].Bandwidth(),
+				vm.RTVirt[i].Interface, vm.RTVirt[i].Bandwidth())
+		}
+	}
+	fmt.Printf("\nhost (%d PCPUs): static stack claims %d CPUs, allocates %.3f;"+
+		" rtvirt allocates %.3f (saving %.1f%%)\n",
+		plan.PCPUs, plan.RTXenClaimedFFD, plan.RTXenAllocated,
+		plan.RTVirtAllocated, plan.SavingPct)
+	if !plan.RTVirtAdmitted {
+		log.Fatal("scenario rejected by admission control")
+	}
+
+	// Step 2: simulate the very same scenario.
+	res, err := rtvirt.RunScenario(sc, rtvirt.ScenarioOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== simulated outcome ==")
+	var missed int
+	for _, tr := range res.Tasks {
+		if tr.Kind == "background" {
+			fmt.Printf("%-10s %-14s best-effort, consumed %v\n", tr.VM, tr.Name, tr.Stats.TotalWork)
+			continue
+		}
+		missed += tr.Stats.Missed
+		fmt.Printf("%-10s %-14s released=%4d missed=%d\n",
+			tr.VM, tr.Name, tr.Stats.Released, tr.Stats.Missed)
+	}
+
+	// Step 3: verify prediction against measurement.
+	fmt.Println("\n== analyzer vs. simulator ==")
+	fmt.Printf("predicted reservation %.3f CPUs, simulator reserved %.3f CPUs\n",
+		plan.RTVirtAllocated, res.AllocatedBW)
+	fmt.Printf("deadline misses: %d (admission promised 0)\n", missed)
+	if missed != 0 {
+		log.Fatal("admitted scenario missed deadlines")
+	}
+}

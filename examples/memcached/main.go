@@ -1,0 +1,77 @@
+// Command memcached reproduces the headline of §4.4: a latency-critical
+// memcached VM sharing two CPUs with nineteen CPU-bound neighbour VMs.
+// Under Xen's Credit scheduler the tail latency blows through the 500µs
+// SLO; under RTVirt a reservation of just 58µs per 500µs — 11.6% of one
+// CPU — holds the 99.9th percentile under the SLO.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtvirt"
+)
+
+func run(stack rtvirt.Stack, label string) {
+	cfg := rtvirt.DefaultConfig(stack)
+	cfg.PCPUs = 2
+	sys := rtvirt.NewSystem(cfg)
+
+	// The memcached VM: a sporadic RTA with period = SLO = 500µs and a
+	// 58µs slice (its measured 99.9th-percentile service time).
+	var mcVM *rtvirt.Guest
+	var err error
+	if stack == rtvirt.StackRTVirt {
+		zero := rtvirt.Duration(0)
+		mcVM, err = sys.NewGuestOpts("memcached", rtvirt.GuestOpts{VCPUs: 1, Slack: &zero})
+	} else {
+		mcVM, err = sys.NewWeightedGuest("memcached", 1, 727) // ≈26% share
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc, err := rtvirt.NewMemcached(mcVM, 0, rtvirt.DefaultMemcachedConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Nineteen CPU-bound neighbours.
+	var hogs []*rtvirt.CPUHog
+	for i := 0; i < 19; i++ {
+		g, err := sys.NewWeightedGuest(fmt.Sprintf("batch%02d", i), 1, 256)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := rtvirt.NewCPUHog(g, 100+i, "hog")
+		if err != nil {
+			log.Fatal(err)
+		}
+		hogs = append(hogs, h)
+	}
+
+	sys.Start()
+	mc.Start(0)
+	for _, h := range hogs {
+		h.Start(0)
+	}
+	sys.Run(120 * rtvirt.Second)
+
+	slo := rtvirt.Duration(500 * rtvirt.Microsecond)
+	verdict := "MISSED"
+	if mc.Latency.Percentile(99.9) <= slo {
+		verdict = "met"
+	}
+	fmt.Printf("%-8s  requests=%5d  mean=%-8v p99=%-8v p99.9=%-8v  SLO %v: %s\n",
+		label, mc.Latency.Count(), mc.Latency.Mean(),
+		mc.Latency.Percentile(99), mc.Latency.Percentile(99.9), slo, verdict)
+}
+
+func main() {
+	fmt.Println("memcached VM + 19 CPU-bound VMs on 2 PCPUs (SLO: 99.9th ≤ 500µs)")
+	fmt.Println()
+	run(rtvirt.StackCredit, "Credit")
+	run(rtvirt.StackRTVirt, "RTVirt")
+	fmt.Println()
+	fmt.Println("RTVirt meets the SLO with an 11.6 percent-of-one-CPU reservation; the")
+	fmt.Println("leftover bandwidth still flows to the batch VMs (work-conserving).")
+}

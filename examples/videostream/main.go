@@ -1,0 +1,75 @@
+// Command videostream runs a video streaming service on RTVirt (§4.3):
+// four VMs serve transcoding requests whose frame rates — and therefore
+// CPU needs (Table 3) — change as streams start and stop. The guests
+// renegotiate their reservations online through the cross-layer hypercall,
+// so the host only ever reserves what the current streams need while
+// every frame deadline holds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtvirt"
+)
+
+func main() {
+	cfg := rtvirt.DefaultConfig(rtvirt.StackRTVirt)
+	cfg.PCPUs = 4
+	sys := rtvirt.NewSystem(cfg)
+
+	// Two VCPUs to start with; RTVirt hot-plugs more when the streams
+	// outgrow them (§3.2).
+	vm, err := sys.NewGuestOpts("streaming-vm", rtvirt.GuestOpts{VCPUs: 2, MaxVCPUs: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Start()
+
+	fmt.Println("Table 3 — VLC transcoding profiles:")
+	for _, p := range rtvirt.VideoProfiles() {
+		fmt.Printf("  %2d fps: needs %4.1f%% CPU, RTA %v\n", p.FPS, 100*p.Bandwidth, p.Params)
+	}
+	fmt.Println()
+
+	// Phase 1: two standard-definition streams.
+	s24, err := rtvirt.NewVideoStream(vm, 0, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s30, err := rtvirt.NewVideoStream(vm, 1, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s24.App.Start(sys.Now())
+	s30.App.Start(sys.Now())
+	sys.Run(20 * rtvirt.Second)
+	fmt.Printf("t=%3.0fs  24fps+30fps streaming, VM reserves %.1f%% CPU\n",
+		sys.Now().Seconds(), 100*vm.AllocatedBandwidth())
+
+	// Phase 2: a 60fps stream joins — the guest hypercalls for more
+	// bandwidth before admitting the new transcoding thread.
+	s60, err := rtvirt.NewVideoStream(vm, 2, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s60.App.Start(sys.Now())
+	sys.Run(20 * rtvirt.Second)
+	fmt.Printf("t=%3.0fs  +60fps stream,          VM reserves %.1f%% CPU (VCPUs: %d, hot-plugged)\n",
+		sys.Now().Seconds(), 100*vm.AllocatedBandwidth(), vm.NumVCPUs())
+
+	// Phase 3: the 24fps stream ends; its bandwidth is returned.
+	if err := s24.App.Stop(); err != nil {
+		log.Fatal(err)
+	}
+	sys.Run(20 * rtvirt.Second)
+	fmt.Printf("t=%3.0fs  24fps stream stopped,   VM reserves %.1f%% CPU\n",
+		sys.Now().Seconds(), 100*vm.AllocatedBandwidth())
+
+	fmt.Println()
+	for _, s := range []*rtvirt.VideoStream{s24, s30, s60} {
+		st := s.App.Task.Stats()
+		fmt.Printf("%-14s frames=%4d missed=%d (%.3f%%)\n",
+			s.App.Task.Name, st.Released, st.Missed, 100*st.MissRatio())
+	}
+}

@@ -1,0 +1,3 @@
+module rtvirt
+
+go 1.22

@@ -1,0 +1,607 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"rtvirt/internal/sim"
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/task"
+)
+
+func ms(n int64) simtime.Duration { return simtime.Millis(n) }
+
+func vmSpec(name string, sliceMS, periodMS int64) VMSpec {
+	return VMSpec{
+		Name:  name,
+		VCPUs: 1,
+		Tasks: []TaskSpec{{
+			Name:   name + "-rta",
+			Kind:   task.Periodic,
+			Params: task.Params{Slice: ms(sliceMS), Period: ms(periodMS)},
+		}},
+	}
+}
+
+func TestPlacementPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		policy Policy
+		// After placing 0.5 on host0, where does the next 0.3 go?
+		wantSame bool
+	}{
+		{FirstFit, true},  // host0 still fits
+		{BestFit, true},   // host0 has least free space and fits
+		{WorstFit, false}, // host1 has more room
+	} {
+		cfg := DefaultConfig()
+		cfg.Policy = tc.policy
+		c := New(cfg)
+		cfg.PCPUs = 4
+		d1, err := c.Place(vmSpec("a", 20, 10*4)) // 0.5
+		if err != nil {
+			t.Fatalf("%v: %v", tc.policy, err)
+		}
+		d2, err := c.Place(vmSpec("b", 12, 40)) // 0.3
+		if err != nil {
+			t.Fatalf("%v: %v", tc.policy, err)
+		}
+		same := d1.Host == d2.Host
+		if same != tc.wantSame {
+			t.Errorf("%v: same-host = %v, want %v", tc.policy, same, tc.wantSame)
+		}
+	}
+}
+
+func TestPlaceRejectsWhenFull(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hosts = 2
+	cfg.PCPUs = 1
+	c := New(cfg)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Place(vmSpec(fmt.Sprintf("big%d", i), 9, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := c.Place(vmSpec("extra", 5, 10))
+	if !errors.Is(err, ErrNoHostFits) {
+		t.Fatalf("err = %v, want ErrNoHostFits", err)
+	}
+}
+
+func TestPlacedVMsMeetDeadlines(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	var vms []*Deployment
+	for i := 0; i < 6; i++ {
+		d, err := c.Place(vmSpec(fmt.Sprintf("vm%d", i), 4, 10)) // 0.4 each
+		if err != nil {
+			t.Fatal(err)
+		}
+		vms = append(vms, d)
+	}
+	c.Start()
+	c.Run(5 * simtime.Second)
+	for _, d := range vms {
+		for _, tk := range d.Tasks() {
+			if st := tk.Stats(); st.Missed != 0 {
+				t.Errorf("%s/%s missed %d", d.Spec.Name, tk.Name, st.Missed)
+			}
+		}
+	}
+}
+
+func TestLiveMigration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = FirstFit
+	c := New(cfg)
+	d, err := c.Place(vmSpec("mover", 4, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := d.Host
+	c.Start()
+	c.Run(2 * simtime.Second)
+
+	target, err := c.Migrate("mover", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target == src {
+		t.Fatal("migrated to the source host")
+	}
+	// During the blackout the VM holds no reservation anywhere.
+	if bw := src.ReservedBandwidth(); bw > 0.01 {
+		t.Fatalf("source still reserves %.3f during blackout", bw)
+	}
+	c.Run(2 * simtime.Second)
+	if d.Host != target || d.Migrations != 1 {
+		t.Fatalf("migration not completed: host=%v migrations=%d", d.Host.Name, d.Migrations)
+	}
+	if d.BlackoutTotal < cfg.MigrationDowntime {
+		t.Fatalf("blackout %v below base downtime", d.BlackoutTotal)
+	}
+	// The VM runs again on the target: fresh releases complete.
+	tk := d.Tasks()[0]
+	before := tk.Stats().Completed
+	c.Run(simtime.Second)
+	if tk.Stats().Completed <= before {
+		t.Fatal("no progress after migration")
+	}
+	// The §6 caveat: the blackout shows up as bounded misses. With a 10ms
+	// period and ~58ms downtime, only the in-flight job dies (releases
+	// pause during the blackout).
+	if miss := tk.Stats().Missed; miss == 0 || miss > 20 {
+		t.Fatalf("migration-induced misses = %d, want a small positive count", miss)
+	}
+}
+
+func TestMigrateErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hosts = 2
+	cfg.PCPUs = 1
+	c := New(cfg)
+	if _, err := c.Migrate("ghost", nil); !errors.Is(err, ErrUnknownVM) {
+		t.Fatalf("err = %v", err)
+	}
+	d, err := c.Place(vmSpec("a", 5, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the other host so nothing fits.
+	other := c.Hosts[0]
+	if other == d.Host {
+		other = c.Hosts[1]
+	}
+	if _, err := c.Place(vmSpec("blocker", 9, 10)); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	if _, err := c.Migrate("a", other); !errors.Is(err, ErrNoHostFits) {
+		t.Fatalf("err = %v, want ErrNoHostFits", err)
+	}
+	if _, err := c.Migrate("a", d.Host); err == nil {
+		t.Fatal("migrating to the same host accepted")
+	}
+}
+
+func TestRebalance(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = BestFit // pack everything onto one host first
+	c := New(cfg)
+	for i := 0; i < 4; i++ {
+		if _, err := c.Place(vmSpec(fmt.Sprintf("vm%d", i), 8, 10*4)); err != nil { // 0.2 each
+			t.Fatal(err)
+		}
+	}
+	h0, h1 := c.Hosts[0], c.Hosts[1]
+	if h0.ReservedBandwidth() < 0.8 && h1.ReservedBandwidth() < 0.8 {
+		t.Fatalf("best-fit did not consolidate: %.2f / %.2f",
+			h0.ReservedBandwidth(), h1.ReservedBandwidth())
+	}
+	c.Start()
+	c.Run(simtime.Second)
+	moves := c.Rebalance(0.3)
+	if moves == 0 {
+		t.Fatal("rebalance made no moves")
+	}
+	c.Run(simtime.Second) // let blackouts finish
+	gap := h0.ReservedBandwidth() - h1.ReservedBandwidth()
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > 0.5 {
+		t.Fatalf("still unbalanced: %.2f vs %.2f", h0.ReservedBandwidth(), h1.ReservedBandwidth())
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FirstFit.String() != "first-fit" || BestFit.String() != "best-fit" ||
+		WorstFit.String() != "worst-fit" || Policy(9).String() == "" {
+		t.Fatal("Policy.String wrong")
+	}
+}
+
+func TestDuplicatePlacementRejected(t *testing.T) {
+	c := New(DefaultConfig())
+	if _, err := c.Place(vmSpec("dup", 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Place(vmSpec("dup", 1, 10)); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+// TestMigrationCleansUpSourceHost: repeated migrations must not leak VCPUs
+// or VMs on the source hosts.
+func TestMigrationCleansUpSourceHost(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = FirstFit
+	c := New(cfg)
+	if _, err := c.Place(vmSpec("pingpong", 3, 10)); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	for i := 0; i < 6; i++ {
+		c.Run(simtime.Second)
+		if _, err := c.Migrate("pingpong", nil); err != nil {
+			t.Fatalf("migration %d: %v", i, err)
+		}
+		c.Run(simtime.Second)
+	}
+	for _, h := range c.Hosts {
+		vms := len(h.Sys.Host.VMs())
+		vcpus := len(h.Sys.Host.VCPUs())
+		if vms > 1 || vcpus > 1 {
+			t.Fatalf("%s leaks: %d VMs, %d VCPUs after 6 migrations", h.Name, vms, vcpus)
+		}
+	}
+	d, _ := c.Lookup("pingpong")
+	if d.Migrations != 6 {
+		t.Fatalf("migrations = %d", d.Migrations)
+	}
+	// The VM still makes progress.
+	tk := d.Tasks()[0]
+	before := tk.Stats().Completed
+	c.Run(simtime.Second)
+	if tk.Stats().Completed <= before {
+		t.Fatal("no progress after ping-pong migrations")
+	}
+}
+
+// Property: random placement and migration churn never overcommits a host,
+// never loses a VM, and every surviving VM keeps making progress.
+func TestQuickClusterChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long property test")
+	}
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		cfg := DefaultConfig()
+		cfg.Hosts = 2 + rng.Intn(2)
+		cfg.PCPUs = 2
+		cfg.Seed = seed
+		cfg.Policy = Policy(rng.Intn(3))
+		c := New(cfg)
+		placed := 0
+		for i := 0; i < 6; i++ {
+			s := vmSpec(fmt.Sprintf("vm%d", i), 2+rng.Int63n(5), 10+rng.Int63n(20))
+			if _, err := c.Place(s); err == nil {
+				placed++
+			}
+		}
+		if placed == 0 {
+			return true
+		}
+		c.Start()
+		for e := 0; e < 10; e++ {
+			c.Run(simtime.Duration(200+rng.Int63n(800)) * simtime.Millisecond)
+			names := c.Deployments()
+			if len(names) == 0 {
+				return false
+			}
+			d := names[rng.Intn(len(names))]
+			_, _ = c.Migrate(d.Spec.Name, nil) // failures are fine
+		}
+		c.Run(2 * simtime.Second)
+		// Invariants.
+		for _, h := range c.Hosts {
+			if h.ReservedBandwidth() > h.Capacity()+1e-6 {
+				t.Logf("seed %d: %s overcommitted %.3f/%.1f", seed, h.Name,
+					h.ReservedBandwidth(), h.Capacity())
+				return false
+			}
+		}
+		for _, d := range c.Deployments() {
+			tk := d.Tasks()[0]
+			before := tk.Stats().Completed
+			c.Run(simtime.Second)
+			if tk.Stats().Completed <= before {
+				t.Logf("seed %d: %s stalled after churn", seed, d.Spec.Name)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailHostRecoversVMs(t *testing.T) {
+	cfg := DefaultConfig() // 2×4 CPUs, worst-fit, 500ms recovery
+	c := New(cfg)
+	// One VM per host (worst-fit spreads them).
+	d1, err := c.Place(vmSpec("a", 2, 10)) // 0.2 CPUs
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := c.Place(vmSpec("b", 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Host == d2.Host {
+		t.Fatal("worst-fit co-located the VMs")
+	}
+	c.Start()
+	c.Run(simtime.Seconds(2))
+
+	crashed := d1.Host
+	survivor := d2.Host
+	affected := c.FailHost(crashed)
+	if len(affected) != 1 || affected[0] != d1 {
+		t.Fatalf("affected = %v", affected)
+	}
+	if !crashed.Failed() || !d1.Pending() {
+		t.Fatalf("failure state: host=%v vm=%v", crashed.Failed(), d1.Pending())
+	}
+	// Failing twice is a no-op.
+	if again := c.FailHost(crashed); again != nil {
+		t.Fatalf("second FailHost returned %v", again)
+	}
+
+	c.Run(simtime.Seconds(2))
+	if d1.Pending() || d1.Host != survivor {
+		t.Fatalf("vm a not recovered: pending=%v host=%v", d1.Pending(), d1.Host)
+	}
+	if d1.Failovers != 1 || d1.BlackoutTotal != cfg.RecoveryDelay {
+		t.Fatalf("failover accounting: %+v", d1)
+	}
+	// The crash cost deadlines (the VM was dark 500ms ≈ 50 periods), but
+	// it runs cleanly again on the survivor.
+	tk := d1.Tasks()[0]
+	missesAfterRecovery := tk.Stats().Missed
+	if missesAfterRecovery == 0 {
+		t.Fatal("500ms blackout caused no misses")
+	}
+	c.Run(simtime.Seconds(2))
+	if got := tk.Stats().Missed; got != missesAfterRecovery {
+		t.Fatalf("still missing after recovery: %d -> %d", missesAfterRecovery, got)
+	}
+	// The crashed host is empty and excluded from placement.
+	if n := len(crashed.Sys.Host.VMs()); n != 0 {
+		t.Fatalf("%d VMs left on the crashed host", n)
+	}
+	// A ~3.8-CPU VM only fits the crashed host's empty capacity; the
+	// survivor (≈3.5 CPUs free) cannot take it, so placement must fail.
+	probe := VMSpec{Name: "c", VCPUs: 4}
+	for i := 0; i < 4; i++ {
+		probe.Tasks = append(probe.Tasks, TaskSpec{
+			Name: fmt.Sprintf("c-rta%d", i), Kind: task.Periodic,
+			Params: task.Params{Slice: ms(19) / 2, Period: ms(10)},
+		})
+	}
+	if _, err := c.Place(probe); err == nil {
+		t.Fatal("placement used a failed host")
+	}
+}
+
+func TestFailHostNoCapacityThenRestore(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = FirstFit
+	c := New(cfg)
+	// heavySpec builds a VM from n 0.9-utilization tasks, each filling
+	// most of one VCPU (0.95 reserved with the 500µs slack).
+	heavySpec := func(name string, n int) VMSpec {
+		s := VMSpec{Name: name, VCPUs: n}
+		for i := 0; i < n; i++ {
+			s.Tasks = append(s.Tasks, TaskSpec{
+				Name: fmt.Sprintf("%s-rta%d", name, i), Kind: task.Periodic,
+				Params: task.Params{Slice: ms(9), Period: ms(10)},
+			})
+		}
+		return s
+	}
+	// host0: the 1.8-CPU victim; host1: 2.7 CPUs of filler, leaving only
+	// ~1.15 CPUs of surviving capacity — not enough to recover the victim.
+	big, err := c.Place(heavySpec("big", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Place(heavySpec("filler", 3)); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.Run(simtime.Seconds(1))
+
+	h0 := c.Hosts[0]
+	c.FailHost(h0)
+	c.Run(simtime.Seconds(2)) // recovery delay passes, nowhere to go
+	if !big.Pending() {
+		t.Fatal("2.0-CPU VM recovered without capacity")
+	}
+
+	c.RestoreHost(h0)
+	if big.Pending() {
+		t.Fatal("restore did not retry the pending VM")
+	}
+	if big.Host != h0 {
+		t.Fatalf("recovered on %s", big.Host.Name)
+	}
+	c.Run(simtime.Seconds(2))
+	// Clean run after restoration: misses stop accumulating.
+	tk := big.Tasks()[0]
+	before := tk.Stats().Missed
+	c.Run(simtime.Seconds(1))
+	if got := tk.Stats().Missed; got != before {
+		t.Fatalf("missing after restore: %d -> %d", before, got)
+	}
+	// Restoring a live host is a no-op.
+	c.RestoreHost(h0)
+}
+
+func TestMigrateToHostThatFails(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hosts = 3
+	c := New(cfg)
+	d, err := c.Place(vmSpec("a", 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.Run(simtime.Seconds(1))
+
+	src := d.Host
+	var target *Host
+	for _, h := range c.Hosts {
+		if h != src {
+			target = h
+			break
+		}
+	}
+	if _, err := c.Migrate("a", target); err != nil {
+		t.Fatal(err)
+	}
+	// The target dies during the blackout: the VM must fall back to a
+	// live host instead of deploying onto the corpse.
+	c.FailHost(target)
+	c.Run(simtime.Seconds(2))
+	if d.Pending() {
+		t.Fatal("VM stuck pending despite spare capacity")
+	}
+	if d.Host == target || d.Host.Failed() {
+		t.Fatalf("VM landed on the failed host %s", d.Host.Name)
+	}
+	tk := d.Tasks()[0]
+	before := tk.Stats().Missed
+	c.Run(simtime.Seconds(1))
+	if got := tk.Stats().Missed; got != before {
+		t.Fatalf("missing after fallback: %d -> %d", before, got)
+	}
+}
+
+func TestMigrateRejectsPendingVM(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	d, err := c.Place(vmSpec("a", 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.Run(simtime.Seconds(1))
+	c.FailHost(d.Host)
+	if _, err := c.Migrate("a", nil); !errors.Is(err, ErrMigrating) {
+		t.Fatalf("migrating a pending VM: err = %v", err)
+	}
+}
+
+// Property: under random crashes, restores and migrations, no VM is ever
+// lost — every deployment is either running on a live host or explicitly
+// pending — hosts are never overcommitted, and once the cluster heals,
+// every VM makes progress again.
+func TestQuickFailoverChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long property test")
+	}
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		cfg := DefaultConfig()
+		cfg.Hosts = 3
+		cfg.PCPUs = 2
+		cfg.Seed = seed
+		cfg.Policy = Policy(rng.Intn(3))
+		c := New(cfg)
+		for i := 0; i < 5; i++ {
+			s := vmSpec(fmt.Sprintf("vm%d", i), 1+rng.Int63n(4), 10+rng.Int63n(20))
+			_, _ = c.Place(s) // rejections are fine
+		}
+		if len(c.Deployments()) == 0 {
+			return true
+		}
+		c.Start()
+		for e := 0; e < 12; e++ {
+			c.Run(simtime.Duration(100+rng.Int63n(700)) * simtime.Millisecond)
+			switch rng.Intn(3) {
+			case 0:
+				c.FailHost(c.Hosts[rng.Intn(len(c.Hosts))])
+			case 1:
+				c.RestoreHost(c.Hosts[rng.Intn(len(c.Hosts))])
+			case 2:
+				ds := c.Deployments()
+				d := ds[rng.Intn(len(ds))]
+				_, _ = c.Migrate(d.Spec.Name, nil)
+			}
+			// Standing invariants, checked at every step.
+			for _, h := range c.Hosts {
+				if h.ReservedBandwidth() > h.Capacity()+1e-6 {
+					t.Logf("seed %d: %s overcommitted", seed, h.Name)
+					return false
+				}
+				if h.Failed() && len(h.Sys.Host.VMs()) != 0 {
+					t.Logf("seed %d: %d VMs on failed %s", seed,
+						len(h.Sys.Host.VMs()), h.Name)
+					return false
+				}
+			}
+		}
+		// Heal the cluster and let in-flight blackouts drain.
+		for _, h := range c.Hosts {
+			c.RestoreHost(h)
+		}
+		c.Run(3 * simtime.Second)
+		for _, d := range c.Deployments() {
+			if d.Pending() {
+				t.Logf("seed %d: %s still pending after full restore", seed, d.Spec.Name)
+				return false
+			}
+			if d.Host.Failed() {
+				t.Logf("seed %d: %s lives on failed %s", seed, d.Spec.Name, d.Host.Name)
+				return false
+			}
+			tk := d.Tasks()[0]
+			before := tk.Stats().Completed
+			c.Run(simtime.Second)
+			if tk.Stats().Completed <= before {
+				t.Logf("seed %d: %s stopped making progress", seed, d.Spec.Name)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterDeterminism: identical seeds reproduce identical outcomes
+// bit-for-bit, including through migrations, a crash and a recovery.
+func TestClusterDeterminism(t *testing.T) {
+	run := func() string {
+		cfg := DefaultConfig()
+		cfg.Hosts = 3
+		cfg.PCPUs = 2
+		cfg.Seed = 42
+		c := New(cfg)
+		for i := 0; i < 4; i++ {
+			if _, err := c.Place(vmSpec(fmt.Sprintf("vm%d", i), 3, 10)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Start()
+		c.Run(simtime.Second)
+		_, _ = c.Migrate("vm1", nil)
+		c.Run(simtime.Second)
+		c.FailHost(c.Hosts[0])
+		c.Run(simtime.Second)
+		c.RestoreHost(c.Hosts[0])
+		c.Run(simtime.Second)
+		out := ""
+		for _, d := range c.Deployments() {
+			tk := d.Tasks()[0]
+			st := tk.Stats()
+			out += fmt.Sprintf("%s@%s rel=%d done=%d miss=%d ab=%d mig=%d fo=%d bo=%v\n",
+				d.Spec.Name, d.Host.Name, st.Released, st.Completed, st.Missed,
+				st.Abandoned, d.Migrations, d.Failovers, d.BlackoutTotal)
+		}
+		for _, h := range c.Hosts {
+			out += fmt.Sprintf("%s bw=%.6f mig=%d\n",
+				h.Name, h.ReservedBandwidth(), h.Sys.Host.Overhead.Migrations)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic cluster run:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}

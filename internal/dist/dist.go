@@ -1,0 +1,204 @@
+// Package dist provides the random-variate distributions used by the
+// workload generators: inter-arrival times, service demands, and idle gaps.
+//
+// Every distribution draws from a sim.RNG so simulation runs stay
+// deterministic. Distributions that produce durations clamp to a minimum of
+// 1ns so a pathological sample can never stall the event loop.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"rtvirt/internal/sim"
+	"rtvirt/internal/simtime"
+)
+
+// Duration is a source of random simulated durations.
+type Duration interface {
+	// Sample draws the next duration.
+	Sample(r *sim.RNG) simtime.Duration
+	// Mean reports the distribution's expected value.
+	Mean() simtime.Duration
+	fmt.Stringer
+}
+
+func clamp(d simtime.Duration) simtime.Duration {
+	if d < 1 {
+		return 1
+	}
+	return d
+}
+
+// Constant always returns the same duration.
+type Constant struct{ D simtime.Duration }
+
+// Sample implements Duration.
+func (c Constant) Sample(*sim.RNG) simtime.Duration { return clamp(c.D) }
+
+// Mean implements Duration.
+func (c Constant) Mean() simtime.Duration { return c.D }
+
+func (c Constant) String() string { return fmt.Sprintf("const(%v)", c.D) }
+
+// Uniform draws uniformly from [Lo, Hi].
+type Uniform struct{ Lo, Hi simtime.Duration }
+
+// Sample implements Duration.
+func (u Uniform) Sample(r *sim.RNG) simtime.Duration {
+	if u.Hi <= u.Lo {
+		return clamp(u.Lo)
+	}
+	return clamp(u.Lo + simtime.Duration(r.Int63n(int64(u.Hi-u.Lo)+1)))
+}
+
+// Mean implements Duration.
+func (u Uniform) Mean() simtime.Duration { return (u.Lo + u.Hi) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%v,%v)", u.Lo, u.Hi) }
+
+// Normal draws from a normal distribution truncated at Min (values below
+// Min are clamped, preserving a mass point rather than resampling, matching
+// how a real packet trace can never show a negative inter-arrival gap).
+type Normal struct {
+	MeanD  simtime.Duration
+	Stddev simtime.Duration
+	Min    simtime.Duration
+}
+
+// Sample implements Duration.
+func (n Normal) Sample(r *sim.RNG) simtime.Duration {
+	v := float64(n.MeanD) + r.NormFloat64()*float64(n.Stddev)
+	if v < float64(n.Min) {
+		v = float64(n.Min)
+	}
+	return clamp(simtime.Duration(v))
+}
+
+// Mean implements Duration.
+func (n Normal) Mean() simtime.Duration { return n.MeanD }
+
+func (n Normal) String() string {
+	return fmt.Sprintf("normal(µ=%v,σ=%v)", n.MeanD, n.Stddev)
+}
+
+// Exponential draws from an exponential distribution with the given mean
+// (Poisson arrivals).
+type Exponential struct{ MeanD simtime.Duration }
+
+// Sample implements Duration.
+func (e Exponential) Sample(r *sim.RNG) simtime.Duration {
+	return clamp(simtime.Duration(r.ExpFloat64() * float64(e.MeanD)))
+}
+
+// Mean implements Duration.
+func (e Exponential) Mean() simtime.Duration { return e.MeanD }
+
+func (e Exponential) String() string { return fmt.Sprintf("exp(µ=%v)", e.MeanD) }
+
+// LogNormal draws from a log-normal distribution parameterised directly by
+// the underlying normal's mu and sigma (natural log of nanoseconds). It is
+// the classic model for service-time tails such as memcached request
+// processing.
+type LogNormal struct {
+	Mu    float64 // mean of ln(duration in ns)
+	Sigma float64 // stddev of ln(duration in ns)
+}
+
+// LogNormalFromMoments builds a LogNormal with the given mean and the given
+// multiplicative tail spread sigma.
+func LogNormalFromMoments(mean simtime.Duration, sigma float64) LogNormal {
+	// mean = exp(mu + sigma^2/2)  ⇒  mu = ln(mean) − sigma²/2
+	return LogNormal{Mu: math.Log(float64(mean)) - sigma*sigma/2, Sigma: sigma}
+}
+
+// Sample implements Duration.
+func (l LogNormal) Sample(r *sim.RNG) simtime.Duration {
+	return clamp(simtime.Duration(math.Exp(l.Mu + l.Sigma*r.NormFloat64())))
+}
+
+// Mean implements Duration.
+func (l LogNormal) Mean() simtime.Duration {
+	return simtime.Duration(math.Exp(l.Mu + l.Sigma*l.Sigma/2))
+}
+
+func (l LogNormal) String() string {
+	return fmt.Sprintf("lognormal(µ=%.3g,σ=%.3g)", l.Mu, l.Sigma)
+}
+
+// BoundedPareto draws from a Pareto distribution with shape Alpha truncated
+// to [Lo, Hi], a standard heavy-tail model for bursty CPU demand.
+type BoundedPareto struct {
+	Lo, Hi simtime.Duration
+	Alpha  float64
+}
+
+// Sample implements Duration.
+func (p BoundedPareto) Sample(r *sim.RNG) simtime.Duration {
+	if p.Hi <= p.Lo {
+		return clamp(p.Lo)
+	}
+	l, h, a := float64(p.Lo), float64(p.Hi), p.Alpha
+	u := r.Float64()
+	// Inverse CDF of the bounded Pareto.
+	x := math.Pow(-(u*math.Pow(h, a)-u*math.Pow(l, a)-math.Pow(h, a))/(math.Pow(h, a)*math.Pow(l, a)), -1/a)
+	return clamp(simtime.Duration(x))
+}
+
+// Mean implements Duration.
+func (p BoundedPareto) Mean() simtime.Duration {
+	l, h, a := float64(p.Lo), float64(p.Hi), p.Alpha
+	if a == 1 {
+		return simtime.Duration(l * h / (h - l) * math.Log(h/l))
+	}
+	la, ha := math.Pow(l, a), math.Pow(h, a)
+	m := la / (1 - math.Pow(l/h, a)) * (a / (a - 1)) * (1/math.Pow(l, a-1) - 1/math.Pow(h, a-1))
+	_ = ha
+	return simtime.Duration(m)
+}
+
+func (p BoundedPareto) String() string {
+	return fmt.Sprintf("pareto(α=%.3g,[%v,%v])", p.Alpha, p.Lo, p.Hi)
+}
+
+// Mixture draws from one of several distributions with fixed weights; it
+// models bimodal request populations (e.g. cheap GETs plus rare expensive
+// misses).
+type Mixture struct {
+	Parts   []Duration
+	Weights []float64 // must be same length as Parts; need not sum to 1
+}
+
+// Sample implements Duration.
+func (m Mixture) Sample(r *sim.RNG) simtime.Duration {
+	if len(m.Parts) == 0 {
+		return 1
+	}
+	var total float64
+	for _, w := range m.Weights {
+		total += w
+	}
+	u := r.Float64() * total
+	for i, w := range m.Weights {
+		if u < w {
+			return m.Parts[i].Sample(r)
+		}
+		u -= w
+	}
+	return m.Parts[len(m.Parts)-1].Sample(r)
+}
+
+// Mean implements Duration.
+func (m Mixture) Mean() simtime.Duration {
+	var total, acc float64
+	for i, w := range m.Weights {
+		total += w
+		acc += w * float64(m.Parts[i].Mean())
+	}
+	if total == 0 {
+		return 0
+	}
+	return simtime.Duration(acc / total)
+}
+
+func (m Mixture) String() string { return fmt.Sprintf("mixture(%d parts)", len(m.Parts)) }

@@ -1,0 +1,162 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"rtvirt/internal/sim"
+	"rtvirt/internal/simtime"
+)
+
+func sampleMean(d Duration, n int, seed uint64) float64 {
+	r := sim.NewRNG(seed)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample(r))
+	}
+	return sum / float64(n)
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant{D: simtime.Millis(7)}
+	r := sim.NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if c.Sample(r) != simtime.Millis(7) {
+			t.Fatal("constant distribution varied")
+		}
+	}
+	if c.Mean() != simtime.Millis(7) {
+		t.Fatal("constant mean wrong")
+	}
+}
+
+func TestUniformBoundsAndMean(t *testing.T) {
+	u := Uniform{Lo: simtime.Millis(100), Hi: simtime.Seconds(1)}
+	r := sim.NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		v := u.Sample(r)
+		if v < u.Lo || v > u.Hi {
+			t.Fatalf("uniform sample %v outside [%v,%v]", v, u.Lo, u.Hi)
+		}
+	}
+	got := sampleMean(u, 100000, 3)
+	want := float64(u.Mean())
+	if math.Abs(got-want)/want > 0.01 {
+		t.Fatalf("uniform mean %g, want ~%g", got, want)
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	u := Uniform{Lo: simtime.Millis(5), Hi: simtime.Millis(5)}
+	if u.Sample(sim.NewRNG(1)) != simtime.Millis(5) {
+		t.Fatal("degenerate uniform wrong")
+	}
+}
+
+func TestNormalClampsAtMin(t *testing.T) {
+	n := Normal{MeanD: simtime.Micros(10), Stddev: simtime.Micros(50), Min: simtime.Micros(1)}
+	r := sim.NewRNG(4)
+	for i := 0; i < 10000; i++ {
+		if v := n.Sample(r); v < n.Min {
+			t.Fatalf("normal sample %v below min %v", v, n.Min)
+		}
+	}
+}
+
+func TestNormalMean(t *testing.T) {
+	n := Normal{MeanD: simtime.Millis(10), Stddev: simtime.Millis(1)}
+	got := sampleMean(n, 100000, 5)
+	want := float64(n.Mean())
+	if math.Abs(got-want)/want > 0.01 {
+		t.Fatalf("normal mean %g, want ~%g", got, want)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	e := Exponential{MeanD: simtime.Millis(10)}
+	got := sampleMean(e, 200000, 6)
+	want := float64(e.Mean())
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("exp mean %g, want ~%g", got, want)
+	}
+}
+
+func TestLogNormalMean(t *testing.T) {
+	l := LogNormalFromMoments(simtime.Micros(50), 0.5)
+	got := sampleMean(l, 400000, 7)
+	want := float64(simtime.Micros(50))
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("lognormal mean %g, want ~%g", got, want)
+	}
+	if math.Abs(float64(l.Mean())-want)/want > 0.001 {
+		t.Fatalf("lognormal analytic mean %v, want ~50µs", l.Mean())
+	}
+}
+
+func TestBoundedParetoBounds(t *testing.T) {
+	p := BoundedPareto{Lo: simtime.Micros(10), Hi: simtime.Millis(10), Alpha: 1.5}
+	r := sim.NewRNG(8)
+	for i := 0; i < 10000; i++ {
+		v := p.Sample(r)
+		if v < p.Lo || v > p.Hi {
+			t.Fatalf("pareto sample %v outside [%v,%v]", v, p.Lo, p.Hi)
+		}
+	}
+	got := sampleMean(p, 400000, 9)
+	want := float64(p.Mean())
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("pareto mean %g, want ~%g", got, want)
+	}
+}
+
+func TestMixture(t *testing.T) {
+	m := Mixture{
+		Parts:   []Duration{Constant{D: simtime.Micros(10)}, Constant{D: simtime.Micros(90)}},
+		Weights: []float64{0.75, 0.25},
+	}
+	got := sampleMean(m, 200000, 10)
+	want := float64(m.Mean()) // 0.75*10 + 0.25*90 = 30µs
+	if math.Abs(float64(simtime.Micros(30))-want) > 1 {
+		t.Fatalf("mixture analytic mean %v, want 30µs", m.Mean())
+	}
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("mixture mean %g, want ~%g", got, want)
+	}
+}
+
+func TestSamplesNeverNonPositive(t *testing.T) {
+	dists := []Duration{
+		Constant{D: 0},
+		Uniform{Lo: 0, Hi: 0},
+		Normal{MeanD: 0, Stddev: simtime.Millis(1)},
+		Exponential{MeanD: 1},
+		LogNormal{Mu: -50, Sigma: 1},
+		BoundedPareto{Lo: 0, Hi: 0, Alpha: 2},
+		Mixture{},
+	}
+	r := sim.NewRNG(11)
+	for _, d := range dists {
+		for i := 0; i < 1000; i++ {
+			if v := d.Sample(r); v < 1 {
+				t.Fatalf("%v produced non-positive sample %v", d, v)
+			}
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	dists := []Duration{
+		Constant{D: simtime.Millis(1)},
+		Uniform{Lo: 1, Hi: 2},
+		Normal{MeanD: 1, Stddev: 1},
+		Exponential{MeanD: 1},
+		LogNormal{Mu: 1, Sigma: 1},
+		BoundedPareto{Lo: 1, Hi: 2, Alpha: 1.1},
+		Mixture{},
+	}
+	for _, d := range dists {
+		if d.String() == "" {
+			t.Fatalf("%T has empty String()", d)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package eventq provides the cancellable pending-event queue that drives
+// the discrete-event simulator.
+//
+// Events fire in non-decreasing time order; events scheduled for the same
+// instant fire in FIFO order of insertion so that simulation runs are fully
+// deterministic.
+package eventq
+
+import (
+	"container/heap"
+
+	"rtvirt/internal/simtime"
+)
+
+// Event is a scheduled callback. A nil *Event is safe to Cancel.
+type Event struct {
+	at     simtime.Time
+	seq    uint64 // insertion order tiebreak
+	index  int    // heap index, -1 when not queued
+	fn     func(now simtime.Time)
+	cancel bool
+}
+
+// At reports the instant the event is scheduled for.
+func (e *Event) At() simtime.Time { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e == nil || e.cancel }
+
+// Queue is a time-ordered queue of events. The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+	len int // live (non-cancelled) events
+}
+
+// Len reports the number of live events in the queue.
+func (q *Queue) Len() int { return q.len }
+
+// Schedule enqueues fn to run at instant at and returns a handle that can
+// be used to cancel it.
+func (q *Queue) Schedule(at simtime.Time, fn func(now simtime.Time)) *Event {
+	if fn == nil {
+		panic("eventq: Schedule with nil callback")
+	}
+	e := &Event{at: at, seq: q.seq, index: -1, fn: fn}
+	q.seq++
+	heap.Push(&q.h, e)
+	q.len++
+	return e
+}
+
+// Cancel removes the event from the queue if it has not fired yet. It is
+// idempotent and safe to call on nil.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.cancel {
+		return
+	}
+	e.cancel = true
+	e.fn = nil
+	if e.index >= 0 {
+		heap.Remove(&q.h, e.index)
+	}
+	q.len--
+}
+
+// PeekTime reports the firing time of the earliest live event, or
+// simtime.Never when the queue is empty.
+func (q *Queue) PeekTime() simtime.Time {
+	if len(q.h) == 0 {
+		return simtime.Never
+	}
+	return q.h[0].at
+}
+
+// Pop removes and returns the earliest live event, or nil when empty.
+func (q *Queue) Pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	e := heap.Pop(&q.h).(*Event)
+	q.len--
+	return e
+}
+
+// Fire pops the earliest event and invokes its callback with now set to the
+// event's scheduled time. It reports false when the queue is empty.
+func (q *Queue) Fire() bool {
+	e := q.Pop()
+	if e == nil {
+		return false
+	}
+	fn := e.fn
+	e.fn = nil
+	fn(e.at)
+	return true
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,185 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rtvirt/internal/simtime"
+)
+
+func TestFireOrder(t *testing.T) {
+	var q Queue
+	var got []int
+	q.Schedule(30, func(simtime.Time) { got = append(got, 3) })
+	q.Schedule(10, func(simtime.Time) { got = append(got, 1) })
+	q.Schedule(20, func(simtime.Time) { got = append(got, 2) })
+	for q.Fire() {
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		q.Schedule(42, func(simtime.Time) { got = append(got, i) })
+	}
+	for q.Fire() {
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events out of insertion order at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	fired := false
+	e := q.Schedule(5, func(simtime.Time) { fired = true })
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+	q.Cancel(e)
+	if q.Len() != 0 {
+		t.Fatalf("Len after cancel = %d, want 0", q.Len())
+	}
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	q.Cancel(e) // idempotent
+	q.Cancel(nil)
+	for q.Fire() {
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelMiddle(t *testing.T) {
+	var q Queue
+	var got []int
+	var es []*Event
+	for i := 0; i < 10; i++ {
+		i := i
+		es = append(es, q.Schedule(simtime.Time(i), func(simtime.Time) { got = append(got, i) }))
+	}
+	q.Cancel(es[3])
+	q.Cancel(es[7])
+	for q.Fire() {
+	}
+	if len(got) != 8 {
+		t.Fatalf("fired %d events, want 8", len(got))
+	}
+	for _, v := range got {
+		if v == 3 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	var q Queue
+	if q.PeekTime() != simtime.Never {
+		t.Fatal("empty queue PeekTime should be Never")
+	}
+	q.Schedule(99, func(simtime.Time) {})
+	q.Schedule(7, func(simtime.Time) {})
+	if q.PeekTime() != 7 {
+		t.Fatalf("PeekTime = %v, want 7", q.PeekTime())
+	}
+}
+
+func TestEventAt(t *testing.T) {
+	var q Queue
+	e := q.Schedule(1234, func(simtime.Time) {})
+	if e.At() != 1234 {
+		t.Fatalf("At = %v, want 1234", e.At())
+	}
+}
+
+func TestFireReceivesScheduledTime(t *testing.T) {
+	var q Queue
+	var at simtime.Time
+	q.Schedule(777, func(now simtime.Time) { at = now })
+	q.Fire()
+	if at != 777 {
+		t.Fatalf("callback now = %v, want 777", at)
+	}
+}
+
+// Property: firing a randomly scheduled set of events yields them in sorted
+// time order, and every live event fires exactly once.
+func TestQuickSortedOrder(t *testing.T) {
+	f := func(times []int16) bool {
+		var q Queue
+		var fired []simtime.Time
+		for _, v := range times {
+			at := simtime.Time(int64(v) + 1<<15)
+			q.Schedule(at, func(now simtime.Time) { fired = append(fired, now) })
+		}
+		for q.Fire() {
+		}
+		if len(fired) != len(times) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random interleavings of schedule/cancel keep Len consistent and
+// fire exactly the non-cancelled events.
+func TestQuickCancelConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		var live, cancelled int
+		var es []*Event
+		for i := 0; i < 300; i++ {
+			if rng.Intn(3) > 0 || len(es) == 0 {
+				e := q.Schedule(simtime.Time(rng.Int63n(1000)), func(simtime.Time) { live++ })
+				es = append(es, e)
+			} else {
+				e := es[rng.Intn(len(es))]
+				if !e.Cancelled() {
+					cancelled++
+				}
+				q.Cancel(e)
+			}
+		}
+		want := q.Len()
+		fired := 0
+		for q.Fire() {
+			fired++
+		}
+		return fired == want && live == fired
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleFire(b *testing.B) {
+	var q Queue
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(simtime.Time(rng.Int63n(1<<30)), func(simtime.Time) {})
+		if q.Len() > 1024 {
+			q.Fire()
+		}
+	}
+	for q.Fire() {
+	}
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rtvirt/internal/core"
+	"rtvirt/internal/guest"
+	"rtvirt/internal/hv"
+	"rtvirt/internal/metrics"
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/task"
+	"rtvirt/internal/workload"
+)
+
+// AblationRow is one configuration point of an ablation sweep.
+type AblationRow struct {
+	Label       string
+	MissPct     float64
+	P999        simtime.Duration
+	OverheadPct float64
+	Extra       float64 // sweep-specific metric (see each driver)
+}
+
+// RenderAblation formats a sweep.
+func RenderAblation(title, extraLabel string, rows []AblationRow) string {
+	t := metrics.NewTable("Config", "miss %", "p99.9", "overhead %", extraLabel)
+	for _, r := range rows {
+		t.AddRow(r.Label, fmt.Sprintf("%.4f", r.MissPct), r.P999.String(),
+			fmt.Sprintf("%.3f", r.OverheadPct), fmt.Sprintf("%.3f", r.Extra))
+	}
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// AblationMinSlice sweeps DP-WRAP's minimum global slice (250µs in §4.1)
+// on a workload with sub-millisecond periods, where the clamp actually
+// binds: small slices track the dense deadline lattice at a higher
+// scheduling cost; large ones are cheap but overrun the deadlines
+// entirely. Extra = schedule time per simulated second (ms).
+func AblationMinSlice(seed uint64, duration simtime.Duration) []AblationRow {
+	// Heavily loaded sub-ms tasks (≈88% + slack): quotas must land near
+	// the deadlines, so the clamp's imprecision is exposed.
+	params := []task.Params{
+		{Slice: simtime.Micros(140), Period: simtime.Micros(300)},
+		{Slice: simtime.Micros(290), Period: simtime.Micros(700)},
+	}
+	var rows []AblationRow
+	for _, minSlice := range []simtime.Duration{
+		simtime.Micros(50), simtime.Micros(250), simtime.Millis(1), simtime.Millis(5),
+	} {
+		cfg := core.DefaultConfig(core.RTVirt)
+		cfg.PCPUs = 1
+		cfg.Seed = seed
+		cfg.Slack = simtime.Micros(15)
+		cfg.DPWrap.MinSlice = minSlice
+		sys := core.NewSystem(cfg)
+		var tasks []*task.Task
+		for i, p := range params {
+			g := mustGuest(sys.NewGuest(fmt.Sprintf("vm%d", i), 1))
+			tk := task.New(i, fmt.Sprintf("fast%d", i), task.Periodic, p)
+			must(g.Register(tk))
+			tasks = append(tasks, tk)
+		}
+		// A background hog soaks all leftover, so the RT tasks live on
+		// their reserved quotas alone and the clamp's imprecision shows.
+		gb := mustGuest(sys.NewWeightedGuest("bg", 1, 256))
+		hog, err := workload.NewCPUHog(gb, 99, "hog")
+		must(err)
+		sys.Start()
+		hog.Start(0)
+		for _, tk := range tasks {
+			guestOf(sys, tk).StartPeriodic(tk, 0)
+		}
+		sys.Run(duration)
+		sum := workload.MissSummary(tasks)
+		rows = append(rows, AblationRow{
+			Label:       fmt.Sprintf("min-slice %v", minSlice),
+			MissPct:     100 * sum.Ratio(),
+			OverheadPct: sys.Overhead().Percent,
+			Extra:       1000 * float64(sys.Overhead().ScheduleTime) / float64(duration),
+		})
+	}
+	return rows
+}
+
+// AblationSlack sweeps the per-VCPU budget slack (§4.1 uses 500µs; §6
+// notes misses "can be further reduced by increasing the scheduling
+// slack"). Extra = allocated bandwidth in CPUs.
+func AblationSlack(seed uint64, duration simtime.Duration) []AblationRow {
+	var rows []AblationRow
+	for _, slack := range []simtime.Duration{
+		0, simtime.Micros(50), simtime.Micros(500), simtime.Millis(2),
+	} {
+		cfg := core.DefaultConfig(core.RTVirt)
+		cfg.PCPUs = 15
+		cfg.Seed = seed
+		cfg.Slack = slack
+		sys := core.NewSystem(cfg)
+		// All six Table-1 groups together: ≈12.05 CPUs of tasks.
+		var tasks []*task.Task
+		id := 0
+		for _, grp := range Table1Groups() {
+			for _, p := range grp.RTAs {
+				g := mustGuest(sys.NewGuest(fmt.Sprintf("vm%d", id), 1))
+				tk := task.New(id, fmt.Sprintf("t%d", id), task.Periodic, p)
+				must(g.Register(tk))
+				tasks = append(tasks, tk)
+				id++
+			}
+		}
+		sys.Start()
+		for _, tk := range tasks {
+			guestOf(sys, tk).StartPeriodic(tk, 0)
+		}
+		sys.Run(duration)
+		sum := workload.MissSummary(tasks)
+		rows = append(rows, AblationRow{
+			Label:       fmt.Sprintf("slack %v", slack),
+			MissPct:     100 * sum.Ratio(),
+			OverheadPct: sys.Overhead().Percent,
+			Extra:       sys.AllocatedBandwidth(),
+		})
+	}
+	return rows
+}
+
+// AblationServerFlavour contrasts RT-Xen's deferrable server with the
+// polling server on the Figure-1 workload: budget retention is what lets a
+// server absorb work that arrives after its VM went briefly idle. Extra =
+// RTA2 mean response in µs.
+func AblationServerFlavour(seed uint64, duration simtime.Duration) []AblationRow {
+	var rows []AblationRow
+	for _, deferrable := range []bool{true, false} {
+		stack := core.RTXen
+		if !deferrable {
+			stack = core.TwoLevelEDF
+		}
+		cfg := core.DefaultConfig(stack)
+		cfg.PCPUs = 1
+		cfg.Seed = seed
+		cfg.Costs = hv.CostModel{}
+		sys := core.NewSystem(cfg)
+		tasks := fig1Workload(sys, true)
+		sys.Start()
+		fig1Start(sys, tasks)
+		sys.Run(duration)
+		label := "polling server"
+		if deferrable {
+			label = "deferrable server"
+		}
+		rows = append(rows, AblationRow{
+			Label:       label,
+			MissPct:     100 * tasks["RTA2"].Stats().MissRatio(),
+			OverheadPct: sys.Overhead().Percent,
+			Extra:       tasks["RTA2"].Stats().MeanResp().Micros(),
+		})
+	}
+	return rows
+}
+
+// AblationWorkConserving contrasts DP-WRAP with and without §3.4's
+// leftover sharing: a memcached VM with a deliberately tight reservation
+// (20µs per 500µs) on an otherwise idle host. Pure quotas pace requests at
+// the fluid rate across several global slices; leftover sharing completes
+// them in one. Extra = mean latency µs.
+func AblationWorkConserving(seed uint64, duration simtime.Duration) []AblationRow {
+	var rows []AblationRow
+	for _, wc := range []bool{true, false} {
+		cfg := core.DefaultConfig(core.RTVirt)
+		cfg.PCPUs = 1
+		cfg.Seed = seed
+		cfg.DPWrap.NonWorkConserving = !wc
+		sys := core.NewSystem(cfg)
+		zero := simtime.Duration(0)
+		g := mustGuest(sys.NewGuestOpts("mc", core.GuestOpts{VCPUs: 1, Slack: &zero}))
+		mcCfg := workload.DefaultMemcachedConfig()
+		mcCfg.Slice = simtime.Micros(20) // under-reserved on purpose
+		mc, err := workload.NewMemcached(g, 0, mcCfg)
+		must(err)
+		sys.Start()
+		mc.Start(0)
+		sys.Run(duration)
+		label := "work-conserving"
+		if !wc {
+			label = "pure DP-WRAP quotas"
+		}
+		rows = append(rows, AblationRow{
+			Label:       label,
+			MissPct:     100 * mc.Task.Stats().MissRatio(),
+			P999:        mc.Latency.Percentile(99.9),
+			OverheadPct: sys.Overhead().Percent,
+			Extra:       mc.Latency.Mean().Micros(),
+		})
+	}
+	return rows
+}
+
+// AblationIdleTax contrasts DP-WRAP with and without the §6 usage tax: an
+// over-claiming idle VM either blocks a newcomer or is squeezed to admit
+// it. Extra = newcomer admitted (1) or rejected (0).
+func AblationIdleTax(seed uint64, duration simtime.Duration) []AblationRow {
+	var rows []AblationRow
+	for _, tax := range []bool{false, true} {
+		cfg := core.DefaultConfig(core.RTVirt)
+		cfg.PCPUs = 1
+		cfg.Seed = seed
+		cfg.Slack = 0
+		cfg.DPWrap.IdleTax = tax
+		cfg.DPWrap.TaxWindow = simtime.Millis(50)
+		sys := core.NewSystem(cfg)
+		gIdle := mustGuest(sys.NewGuest("overclaimer", 1))
+		idler := task.New(0, "idler", task.Periodic, pp(7, 10)) // claims 70%, uses ~0
+		must(gIdle.Register(idler))
+		sys.Start()
+		sys.Run(duration / 2)
+
+		gNew := mustGuest(sys.NewGuest("newcomer", 1))
+		busy := task.New(1, "busy", task.Periodic, pp(6, 10))
+		admitted := 0.0
+		var missPct float64
+		if err := gNew.Register(busy); err == nil {
+			admitted = 1
+			gNew.StartPeriodic(busy, sys.Now())
+			sys.Run(duration / 2)
+			missPct = 100 * busy.Stats().MissRatio()
+		} else {
+			sys.Run(duration / 2)
+		}
+		label := "no idle tax"
+		if tax {
+			label = "idle tax"
+		}
+		rows = append(rows, AblationRow{
+			Label:       label,
+			MissPct:     missPct,
+			OverheadPct: sys.Overhead().Percent,
+			Extra:       admitted,
+		})
+	}
+	return rows
+}
+
+// AblationGuestScheduler contrasts RTVirt's partitioned-EDF guest with
+// SCHED_DEADLINE's native global EDF (the §3.2 design choice): gEDF lets
+// jobs migrate between VCPUs at the cost of extra guest-level switches and
+// harder VCPU parameter derivation. Extra = guest context switches per
+// simulated second.
+func AblationGuestScheduler(seed uint64, duration simtime.Duration) []AblationRow {
+	params := []task.Params{
+		pp(2, 10), pp(3, 15), pp(5, 20), pp(4, 25), pp(6, 40), pp(5, 50),
+	} // ≈1.1 CPUs across 2 VCPUs
+	var rows []AblationRow
+	for _, gedf := range []bool{false, true} {
+		cfg := core.DefaultConfig(core.RTVirt)
+		cfg.PCPUs = 2
+		cfg.Seed = seed
+		sys := core.NewSystem(cfg)
+		gc := guest.DefaultConfig()
+		gc.GEDF = gedf
+		g, err := guest.NewOS(sys.Host, "vm0", gc, 2)
+		must(err)
+		var tasks []*task.Task
+		for i, p := range params {
+			tk := task.New(i, fmt.Sprintf("t%d", i), task.Periodic, p)
+			must(g.Register(tk))
+			tasks = append(tasks, tk)
+		}
+		sys.Start()
+		for _, tk := range tasks {
+			g.StartPeriodic(tk, 0)
+		}
+		sys.Run(duration)
+		sum := workload.MissSummary(tasks)
+		label := "pEDF guest"
+		if gedf {
+			label = "gEDF guest"
+		}
+		rows = append(rows, AblationRow{
+			Label:       label,
+			MissPct:     100 * sum.Ratio(),
+			OverheadPct: sys.Overhead().Percent,
+			Extra:       float64(sys.Host.Overhead.GuestSwitches) / duration.Seconds(),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rtvirt/internal/simtime"
+)
+
+func TestAblationMinSlice(t *testing.T) {
+	rows := AblationMinSlice(1, 5*simtime.Second)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Overhead must grow as the minimum slice shrinks...
+	if rows[0].OverheadPct <= rows[3].OverheadPct {
+		t.Fatalf("overhead should fall with larger min slices: %.3f (50µs) vs %.3f (5ms)",
+			rows[0].OverheadPct, rows[3].OverheadPct)
+	}
+	// ...precision falls with it: the 5ms clamp overruns the sub-ms
+	// deadlines wholesale while 50µs tracks them.
+	if rows[0].MissPct > 0.5 {
+		t.Fatalf("50µs min slice missed %.3f%%", rows[0].MissPct)
+	}
+	if rows[3].MissPct < 5 {
+		t.Fatalf("5ms min slice missed only %.3f%%; the clamp should overrun sub-ms deadlines", rows[3].MissPct)
+	}
+	if !strings.Contains(RenderAblation("t", "x", rows), "min-slice") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestAblationSlack(t *testing.T) {
+	rows := AblationSlack(1, 10*simtime.Second)
+	// Allocated bandwidth grows monotonically with slack...
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Extra <= rows[i-1].Extra {
+			t.Fatalf("allocation not increasing with slack: %+v", rows)
+		}
+	}
+	// ...and slack suppresses misses: the paper's 500µs point stays within
+	// its ≥99%% guarantee and beats (or ties) the zero-slack point.
+	if rows[2].MissPct > 0.1 {
+		t.Fatalf("500µs slack missed %.4f%%", rows[2].MissPct)
+	}
+	if rows[3].MissPct > rows[0].MissPct {
+		t.Fatalf("2ms slack (%.4f%%) should not miss more than zero slack (%.4f%%)",
+			rows[3].MissPct, rows[0].MissPct)
+	}
+}
+
+func TestAblationServerFlavour(t *testing.T) {
+	rows := AblationServerFlavour(1, 30*simtime.Second)
+	var def, pol AblationRow
+	for _, r := range rows {
+		if r.Label == "deferrable server" {
+			def = r
+		} else {
+			pol = r
+		}
+	}
+	// Budget retention is what absorbs work arriving after a brief idle:
+	// the polling server misses RTA2's deadlines; the deferrable one does
+	// not.
+	if def.MissPct != 0 {
+		t.Fatalf("deferrable server missed %.1f%%", def.MissPct)
+	}
+	if pol.MissPct < 25 {
+		t.Fatalf("polling server missed only %.1f%%; retention ablation invisible", pol.MissPct)
+	}
+}
+
+func TestAblationWorkConserving(t *testing.T) {
+	rows := AblationWorkConserving(1, 30*simtime.Second)
+	var wc, pure AblationRow
+	for _, r := range rows {
+		if r.Label == "work-conserving" {
+			wc = r
+		} else {
+			pure = r
+		}
+	}
+	// Leftover sharing slashes the tail: one slice instead of the fluid
+	// pace across several.
+	if wc.P999 >= pure.P999/2 {
+		t.Fatalf("work-conserving p99.9 %v should be far below pure quotas %v", wc.P999, pure.P999)
+	}
+	if pure.P999 < simtime.Micros(500) {
+		t.Fatalf("pure DP-WRAP p99.9 %v; the under-reserved VM should pace out over slices", pure.P999)
+	}
+}
+
+func TestAblationIdleTax(t *testing.T) {
+	rows := AblationIdleTax(1, 4*simtime.Second)
+	var with, without AblationRow
+	for _, r := range rows {
+		if r.Label == "idle tax" {
+			with = r
+		} else {
+			without = r
+		}
+	}
+	if without.Extra != 0 {
+		t.Fatalf("without the tax the newcomer should be rejected (0.7+0.6 > 1)")
+	}
+	if with.Extra != 1 {
+		t.Fatal("with the tax the newcomer should be admitted")
+	}
+	if with.MissPct > 2 {
+		t.Fatalf("admitted newcomer missed %.2f%%", with.MissPct)
+	}
+}
+
+func TestAblationGuestScheduler(t *testing.T) {
+	rows := AblationGuestScheduler(1, 10*simtime.Second)
+	var pedf, gedf AblationRow
+	for _, r := range rows {
+		if r.Label == "pEDF guest" {
+			pedf = r
+		} else {
+			gedf = r
+		}
+	}
+	// Both schedule the task set (it fits comfortably)...
+	if pedf.MissPct > 0.1 || gedf.MissPct > 0.1 {
+		t.Fatalf("misses: pEDF %.3f%%, gEDF %.3f%%", pedf.MissPct, gedf.MissPct)
+	}
+	// ...pEDF pins tasks, so both run correctly; the rows exist mainly to
+	// quantify the switch-rate difference in the rendered ablation.
+	if pedf.Extra <= 0 || gedf.Extra <= 0 {
+		t.Fatalf("guest switch rates missing: %+v %+v", pedf, gedf)
+	}
+}

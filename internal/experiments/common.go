@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rtvirt/internal/core"
+	"rtvirt/internal/guest"
+	"rtvirt/internal/task"
+)
+
+// must panics on setup errors: experiment configurations are static and a
+// failure means the scenario itself is wrong, not the system under test.
+func must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("experiments: setup failed: %v", err))
+	}
+}
+
+func mustGuest(g *guest.OS, err error) *guest.OS {
+	must(err)
+	return g
+}
+
+// guestOf finds the guest a task is registered with.
+func guestOf(sys *core.System, t *task.Task) *guest.OS {
+	for _, g := range sys.Guests() {
+		for _, x := range g.Tasks() {
+			if x == t {
+				return g
+			}
+		}
+	}
+	panic("experiments: task not registered with any guest")
+}

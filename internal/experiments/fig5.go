@@ -1,0 +1,393 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rtvirt/internal/core"
+	"rtvirt/internal/csa"
+	"rtvirt/internal/hv"
+	"rtvirt/internal/metrics"
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/task"
+	"rtvirt/internal/workload"
+)
+
+// Arm names one memcached configuration of §4.4.
+type Arm string
+
+// The four arms of Figures 5a/5b.
+const (
+	ArmCredit Arm = "Credit"
+	ArmRTXenA Arm = "RT-Xen A" // server (66µs, 283µs)
+	ArmRTXenB Arm = "RT-Xen B" // server (33µs, 177µs)
+	ArmRTVirt Arm = "RTVirt"   // reservation (58µs, 500µs)
+)
+
+// Arms lists the four configurations in the paper's presentation order.
+func Arms() []Arm { return []Arm{ArmCredit, ArmRTXenA, ArmRTXenB, ArmRTVirt} }
+
+func stackOf(arm Arm) core.Stack {
+	switch arm {
+	case ArmCredit:
+		return core.Credit
+	case ArmRTXenA, ArmRTXenB:
+		return core.RTXen
+	default:
+		return core.RTVirt
+	}
+}
+
+// mcServer returns the memcached VM's server interface for RT-Xen arms.
+func mcServer(arm Arm) hv.Reservation {
+	if arm == ArmRTXenA {
+		return hv.Reservation{Budget: simtime.Micros(66), Period: simtime.Micros(283)}
+	}
+	return hv.Reservation{Budget: simtime.Micros(33), Period: simtime.Micros(177)}
+}
+
+// costsFor models each framework's measured scheduler path lengths: the
+// per-decision and per-switch CPU costs that make Table 4's dedicated-CPU
+// latencies differ across schedulers. Values are calibrated to reproduce
+// the shape of Table 4 (Credit ≫ RT-Xen ≥ RTVirt); see EXPERIMENTS.md.
+func costsFor(arm Arm) hv.CostModel {
+	c := hv.DefaultCosts()
+	switch arm {
+	case ArmCredit:
+		c.ScheduleBase = simtime.Micros(30)
+		c.ContextSwitch = simtime.Micros(30)
+	case ArmRTXenA, ArmRTXenB:
+		c.ScheduleBase = simtime.Micros(3)
+		c.ContextSwitch = simtime.Micros(4)
+	default: // RTVirt: event-driven minimal path (DefaultCosts)
+	}
+	return c
+}
+
+// newMemcachedSystem builds a host for one arm with the §4.4 scheduler
+// parameters (Credit: timeslice 1ms, ratelimit 500µs).
+func newMemcachedSystem(arm Arm, pcpus int, seed uint64) *core.System {
+	cfg := core.DefaultConfig(stackOf(arm))
+	cfg.PCPUs = pcpus
+	cfg.Seed = seed
+	cfg.Costs = costsFor(arm)
+	cfg.Credit.Timeslice = simtime.Millis(1)
+	cfg.Credit.Ratelimit = simtime.Micros(500)
+	return core.NewSystem(cfg)
+}
+
+// addMemcachedVM creates the memcached VM appropriate for the arm and
+// attaches the Mutilate workload.
+func addMemcachedVM(sys *core.System, arm Arm, id int, mcWeight int) *workload.Memcached {
+	cfg := workload.DefaultMemcachedConfig()
+	switch arm {
+	case ArmCredit:
+		gg := mustGuest(sys.NewWeightedGuest(fmt.Sprintf("mc%d", id), 1, mcWeight))
+		mc, err := workload.NewMemcached(gg, 1000+id, cfg)
+		must(err)
+		return mc
+	case ArmRTXenA, ArmRTXenB:
+		gg := mustGuest(sys.NewServerGuest(fmt.Sprintf("mc%d", id), []hv.Reservation{mcServer(arm)}, 256))
+		mc, err := workload.NewMemcached(gg, 1000+id, cfg)
+		must(err)
+		return mc
+	default: // RTVirt: reservation derived from the registered slice, no slack
+		zero := simtime.Duration(0)
+		gg := mustGuest(sys.NewGuestOpts(fmt.Sprintf("mc%d", id), core.GuestOpts{VCPUs: 1, Slack: &zero}))
+		mc, err := workload.NewMemcached(gg, 1000+id, cfg)
+		must(err)
+		return mc
+	}
+}
+
+// Table4Row is one scheduler's dedicated-CPU tail latencies.
+type Table4Row struct {
+	Scheduler           Arm
+	P90, P95, P99, P999 simtime.Duration
+	Requests            int
+}
+
+// Table4 reproduces Table 4: the memcached VM alone on a dedicated CPU
+// under each scheduler, measuring request tail latency. These are the
+// measurements §4.4 uses to derive each framework's VM configuration.
+func Table4(seed uint64, duration simtime.Duration) []Table4Row {
+	var rows []Table4Row
+	for _, arm := range []Arm{ArmCredit, ArmRTXenA, ArmRTVirt} {
+		sys := newMemcachedSystem(arm, 1, seed)
+		var mc *workload.Memcached
+		cfg := workload.DefaultMemcachedConfig()
+		switch arm {
+		case ArmCredit:
+			g := mustGuest(sys.NewWeightedGuest("mc", 1, 256))
+			m, err := workload.NewMemcached(g, 0, cfg)
+			must(err)
+			mc = m
+		case ArmRTXenA:
+			// Dedicated CPU: an unconstrained full server.
+			g := mustGuest(sys.NewServerGuest("mc",
+				[]hv.Reservation{{Budget: simtime.Micros(450), Period: simtime.Micros(500)}}, 256))
+			m, err := workload.NewMemcached(g, 0, cfg)
+			must(err)
+			mc = m
+		default:
+			zero := simtime.Duration(0)
+			g := mustGuest(sys.NewGuestOpts("mc", core.GuestOpts{VCPUs: 1, Slack: &zero}))
+			// On the dedicated CPU the reservation can cover the whole SLO.
+			c := cfg
+			c.Slice = simtime.Micros(450)
+			m, err := workload.NewMemcached(g, 0, c)
+			must(err)
+			mc = m
+		}
+		sys.Start()
+		mc.Start(0)
+		sys.Run(duration)
+		name := arm
+		if arm == ArmRTXenA {
+			name = "RT-Xen"
+		}
+		rows = append(rows, Table4Row{
+			Scheduler: name,
+			P90:       mc.Latency.Percentile(90),
+			P95:       mc.Latency.Percentile(95),
+			P99:       mc.Latency.Percentile(99),
+			P999:      mc.Latency.Percentile(99.9),
+			Requests:  mc.Latency.Count(),
+		})
+	}
+	return rows
+}
+
+// RenderTable4 formats the dedicated-CPU latency table.
+func RenderTable4(rows []Table4Row) string {
+	t := metrics.NewTable("Scheduler", "90th", "95th", "99th", "99.9th", "requests")
+	for _, r := range rows {
+		t.AddRow(string(r.Scheduler), r.P90.String(), r.P95.String(), r.P99.String(), r.P999.String(), r.Requests)
+	}
+	var b strings.Builder
+	b.WriteString("Table 4 — memcached tail latency on a dedicated CPU\n")
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Figure5Row is one arm's outcome in a contention experiment.
+type Figure5Row struct {
+	Arm         Arm
+	P999        simtime.Duration
+	Mean        simtime.Duration
+	SLOMet      bool
+	Requests    int
+	CDF         []metrics.CDFPoint
+	AllocatedBW float64 // CPUs reserved for the memcached VM(s)
+	// ClaimedCPUs is the whole-host claim of the offline analysis for the
+	// RT-Xen arms in Figure 5b ("CSA requires both RT-Xen groups to have a
+	// claimed bandwidth of 15 CPUs").
+	ClaimedCPUs int
+	// VideoMisses summarises the co-located periodic VMs (Figure 5b only).
+	VideoMisses metrics.MissSummary
+}
+
+// Figure5Config tunes the contention experiments.
+type Figure5Config struct {
+	Seed     uint64
+	Duration simtime.Duration
+	SLO      simtime.Duration
+}
+
+// DefaultFigure5Config mirrors §4.4 (SLO 500µs).
+func DefaultFigure5Config() Figure5Config {
+	return Figure5Config{Seed: 1, Duration: 100 * simtime.Second, SLO: simtime.Micros(500)}
+}
+
+// Figure5a runs the non-RTA contention experiment: one memcached VM and 19
+// CPU-bound VMs sharing two PCPUs, under each of the four arms.
+func Figure5a(cfg Figure5Config) []Figure5Row {
+	var rows []Figure5Row
+	for _, arm := range Arms() {
+		sys := newMemcachedSystem(arm, 2, cfg.Seed)
+		// Credit weights: the memcached VM gets 26% of the two CPUs
+		// (130µs/500µs per §4.4); the remainder is spread over the hogs.
+		mcWeight := 727
+		mc := addMemcachedVM(sys, arm, 0, mcWeight)
+		var hogs []*workload.CPUHog
+		for i := 0; i < 19; i++ {
+			var hg *workload.CPUHog
+			var err error
+			if arm == ArmCredit {
+				g := mustGuest(sys.NewWeightedGuest(fmt.Sprintf("bg%d", i), 1, 256))
+				hg, err = workload.NewCPUHog(g, 2000+i, fmt.Sprintf("hog%d", i))
+			} else {
+				g := mustGuest(sys.NewWeightedGuest(fmt.Sprintf("bg%d", i), 1, 256))
+				hg, err = workload.NewCPUHog(g, 2000+i, fmt.Sprintf("hog%d", i))
+			}
+			must(err)
+			hogs = append(hogs, hg)
+		}
+		sys.Start()
+		mc.Start(0)
+		for _, hg := range hogs {
+			hg.Start(0)
+		}
+		sys.Run(cfg.Duration)
+		row := Figure5Row{
+			Arm:      arm,
+			P999:     mc.Latency.Percentile(99.9),
+			Mean:     mc.Latency.Mean(),
+			Requests: mc.Latency.Count(),
+			CDF:      mc.Latency.CDF(),
+		}
+		row.SLOMet = row.P999 <= cfg.SLO
+		row.AllocatedBW = mcAllocated(arm)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// mcAllocated reports the bandwidth reserved for one memcached VM.
+func mcAllocated(arm Arm) float64 {
+	switch arm {
+	case ArmCredit:
+		return 0.26 // weight share per §4.4
+	case ArmRTXenA:
+		return 66.0 / 283.0
+	case ArmRTXenB:
+		return 33.0 / 177.0
+	default:
+		return 58.0 / 500.0
+	}
+}
+
+// Figure5b runs the periodic contention experiment: five memcached VMs and
+// ten video-streaming VMs (3×24, 3×30, 2×48, 2×60 fps) on 15 PCPUs.
+func Figure5b(cfg Figure5Config) []Figure5Row {
+	fpsMix := []int{24, 24, 24, 30, 30, 30, 48, 48, 60, 60}
+	var rows []Figure5Row
+	for _, arm := range Arms() {
+		sys := newMemcachedSystem(arm, 15, cfg.Seed)
+		var mcs []*workload.Memcached
+		for i := 0; i < 5; i++ {
+			mcs = append(mcs, addMemcachedVM(sys, arm, i, 727))
+		}
+		var videos []*workload.VideoStream
+		for i, fps := range fpsMix {
+			prof, _ := workload.ProfileFor(fps)
+			name := fmt.Sprintf("video%d-%dfps", i, fps)
+			var vs *workload.VideoStream
+			var err error
+			switch arm {
+			case ArmCredit:
+				// §4.4 reports Credit "allocating" 8.16 CPUs to these VMs:
+				// the weight-derived shares are enforced as Xen caps at
+				// 105% of each VM's bandwidth need.
+				weight := int(1000 * prof.Bandwidth)
+				cap := hv.Reservation{
+					Budget: simtime.Duration(1.05 * prof.Bandwidth * float64(simtime.Millis(10))),
+					Period: simtime.Millis(10),
+				}
+				if cap.Budget > cap.Period {
+					cap.Budget = cap.Period
+				}
+				g := mustGuest(sys.NewServerGuest(name, []hv.Reservation{cap}, weight))
+				vs, err = workload.NewVideoStream(g, 3000+i, fps)
+			case ArmRTXenA, ArmRTXenB:
+				iface := videoInterface(fps)
+				g := mustGuest(sys.NewServerGuest(name, []hv.Reservation{iface}, 256))
+				vs, err = workload.NewVideoStream(g, 3000+i, fps)
+			default:
+				g := mustGuest(sys.NewGuest(name, 1))
+				vs, err = workload.NewVideoStream(g, 3000+i, fps)
+			}
+			must(err)
+			videos = append(videos, vs)
+		}
+		sys.Start()
+		for _, mc := range mcs {
+			mc.Start(0)
+		}
+		for _, vs := range videos {
+			vs.App.Start(0)
+		}
+		sys.Run(cfg.Duration)
+
+		var agg metrics.LatencyRecorder
+		for _, mc := range mcs {
+			agg.Merge(&mc.Latency)
+		}
+		row := Figure5Row{
+			Arm:      arm,
+			P999:     agg.Percentile(99.9),
+			Mean:     agg.Mean(),
+			Requests: agg.Count(),
+			CDF:      agg.CDF(),
+		}
+		row.SLOMet = row.P999 <= cfg.SLO
+		row.AllocatedBW = 5 * mcAllocated(arm)
+		row.VideoMisses = videoMissSummary(videos)
+		if arm == ArmRTXenA || arm == ArmRTXenB {
+			var cfgs []csa.VMConfig
+			for i := 0; i < 5; i++ {
+				s := mcServer(arm)
+				cfgs = append(cfgs, csa.VMConfig{VCPUs: []csa.Interface{{Period: s.Period, Budget: s.Budget}}})
+			}
+			for _, fps := range fpsMix {
+				r := videoInterface(fps)
+				cfgs = append(cfgs, csa.VMConfig{VCPUs: []csa.Interface{{Period: r.Period, Budget: r.Budget}}})
+			}
+			if claimed, ok := csa.GEDFClaimedCPUs(cfgs, 64); ok {
+				row.ClaimedCPUs = claimed
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// videoIfaceCache memoises the per-fps CSA interfaces.
+var videoIfaceCache = map[int]hv.Reservation{}
+
+// videoInterface is the CSA interface used for a video VM under RT-Xen,
+// computed at 500µs budget resolution over millisecond candidate periods.
+func videoInterface(fps int) hv.Reservation {
+	if r, ok := videoIfaceCache[fps]; ok {
+		return r
+	}
+	prof, ok := workload.ProfileFor(fps)
+	if !ok {
+		panic(fmt.Sprintf("experiments: no profile for %d fps", fps))
+	}
+	tasks := []task.Params{prof.Params}
+	iface, ok := csa.BestInterfaceQ(tasks, csa.DefaultCandidates(tasks), simtime.Micros(500))
+	if !ok {
+		panic(fmt.Sprintf("experiments: no CSA interface for %d fps", fps))
+	}
+	r := hv.Reservation{Budget: iface.Budget, Period: iface.Period}
+	videoIfaceCache[fps] = r
+	return r
+}
+
+// videoMissSummary aggregates deadline outcomes over the streaming VMs.
+func videoMissSummary(videos []*workload.VideoStream) metrics.MissSummary {
+	var tasks []*task.Task
+	for _, vs := range videos {
+		tasks = append(tasks, vs.App.Task)
+	}
+	return workload.MissSummary(tasks)
+}
+
+// RenderFigure5 formats one contention experiment's rows.
+func RenderFigure5(label string, rows []Figure5Row, slo simtime.Duration) string {
+	t := metrics.NewTable("Arm", "p99.9", "mean", "SLO met", "mc BW (CPUs)", "claimed", "requests", "video miss %")
+	for _, r := range rows {
+		claimed := "-"
+		if r.ClaimedCPUs > 0 {
+			claimed = fmt.Sprintf("%d", r.ClaimedCPUs)
+		}
+		t.AddRow(string(r.Arm), r.P999.String(), r.Mean.String(),
+			fmt.Sprintf("%v", r.SLOMet), fmt.Sprintf("%.3f", r.AllocatedBW),
+			claimed, r.Requests, fmt.Sprintf("%.2f", 100*r.VideoMisses.Ratio()))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — memcached tail latency under contention (SLO %v)\n", label, slo)
+	b.WriteString(t.String())
+	return b.String()
+}

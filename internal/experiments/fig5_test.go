@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rtvirt/internal/simtime"
+)
+
+func TestTable4Shape(t *testing.T) {
+	rows := Table4(1, 60*simtime.Second)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[Arm]Table4Row{}
+	for _, r := range rows {
+		byName[r.Scheduler] = r
+		if r.Requests < 5000 {
+			t.Fatalf("%s served only %d requests", r.Scheduler, r.Requests)
+		}
+		if r.P90 > r.P95 || r.P95 > r.P99 || r.P99 > r.P999 {
+			t.Fatalf("%s percentiles not monotone: %+v", r.Scheduler, r)
+		}
+	}
+	credit, rtx, rtv := byName["Credit"], byName["RT-Xen"], byName[ArmRTVirt]
+	// Table 4's shape: Credit ≫ RT-Xen ≥ RTVirt at the 99.9th percentile.
+	if credit.P999 <= rtx.P999 || credit.P999 <= rtv.P999 {
+		t.Fatalf("Credit p99.9 %v should dominate RT-Xen %v and RTVirt %v",
+			credit.P999, rtx.P999, rtv.P999)
+	}
+	if rtv.P999 > rtx.P999 {
+		t.Fatalf("RTVirt p99.9 %v should not exceed RT-Xen %v", rtv.P999, rtx.P999)
+	}
+	// Magnitudes within 2× of the paper's values (57.5µs/65.7µs/129.1µs).
+	if rtv.P999 < simtime.Micros(40) || rtv.P999 > simtime.Micros(115) {
+		t.Fatalf("RTVirt p99.9 = %v, paper reports 57.5µs", rtv.P999)
+	}
+	if credit.P999 < simtime.Micros(80) || credit.P999 > simtime.Micros(260) {
+		t.Fatalf("Credit p99.9 = %v, paper reports 129.1µs", credit.P999)
+	}
+	if !strings.Contains(RenderTable4(rows), "99.9th") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFigure5aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long contention run")
+	}
+	cfg := DefaultFigure5Config()
+	cfg.Duration = 120 * simtime.Second
+	rows := Figure5a(cfg)
+	byArm := map[Arm]Figure5Row{}
+	for _, r := range rows {
+		byArm[r.Arm] = r
+		if r.Requests < 10000 {
+			t.Fatalf("%s served %d requests, want ≥10k", r.Arm, r.Requests)
+		}
+	}
+	// The paper's headline: RTVirt meets the 500µs SLO while using far less
+	// bandwidth than any RT-Xen configuration that also meets it; Credit
+	// cannot meet the SLO despite a low mean.
+	rtv := byArm[ArmRTVirt]
+	if !rtv.SLOMet {
+		t.Fatalf("RTVirt missed the SLO: p99.9 = %v", rtv.P999)
+	}
+	if byArm[ArmCredit].SLOMet {
+		t.Fatalf("Credit met the SLO (p99.9 %v); its tail should collapse", byArm[ArmCredit].P999)
+	}
+	if byArm[ArmCredit].Mean > simtime.Micros(220) {
+		t.Fatalf("Credit mean %v; the BOOST path should keep the average low", byArm[ArmCredit].Mean)
+	}
+	for _, other := range []Arm{ArmRTXenA, ArmRTXenB} {
+		r := byArm[other]
+		if r.SLOMet && r.AllocatedBW <= rtv.AllocatedBW {
+			t.Fatalf("%s met the SLO with bandwidth %.3f ≤ RTVirt %.3f — the efficiency claim breaks",
+				other, r.AllocatedBW, rtv.AllocatedBW)
+		}
+	}
+	// The 50.2% bandwidth saving vs RT-Xen A.
+	saving := 1 - rtv.AllocatedBW/byArm[ArmRTXenA].AllocatedBW
+	if saving < 0.45 || saving > 0.55 {
+		t.Fatalf("bandwidth saving vs RT-Xen A = %.1f%%, paper reports 50.2%%", 100*saving)
+	}
+	t.Log(RenderFigure5("Figure 5a", rows, cfg.SLO))
+}
+
+func TestFigure5bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long contention run")
+	}
+	cfg := DefaultFigure5Config()
+	cfg.Duration = 60 * simtime.Second
+	rows := Figure5b(cfg)
+	byArm := map[Arm]Figure5Row{}
+	for _, r := range rows {
+		byArm[r.Arm] = r
+	}
+	rtv := byArm[ArmRTVirt]
+	if !rtv.SLOMet {
+		t.Fatalf("RTVirt missed the SLO: p99.9 = %v", rtv.P999)
+	}
+	if rtv.VideoMisses.Ratio() > 0.01 {
+		t.Fatalf("RTVirt video miss ratio %.3f%%, paper reports ≤0.8%%",
+			100*rtv.VideoMisses.Ratio())
+	}
+	if byArm[ArmCredit].SLOMet && byArm[ArmCredit].VideoMisses.Ratio() < 0.001 {
+		t.Fatal("Credit met both the SLO and the video deadlines; contention should hurt it")
+	}
+	// RT-Xen with overprovisioned servers should keep video deadlines.
+	for _, a := range []Arm{ArmRTXenA, ArmRTXenB} {
+		if byArm[a].VideoMisses.Ratio() > 0.01 {
+			t.Fatalf("%s video miss ratio %.3f%%; overprovisioning should prevent misses",
+				a, 100*byArm[a].VideoMisses.Ratio())
+		}
+	}
+	t.Log(RenderFigure5("Figure 5b", rows, cfg.SLO))
+}

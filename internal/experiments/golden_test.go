@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+
+	"rtvirt/internal/simtime"
+)
+
+// TestGoldenNumbers locks the exact deterministic outputs of the key
+// experiments at seed 1. The simulation is bit-for-bit reproducible, so
+// any change here is a behavioural change that must be reviewed against
+// EXPERIMENTS.md (and, if intended, re-recorded).
+func TestGoldenNumbers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several experiment runs")
+	}
+	// Table 2: the NH-Dec configuration is fully determined by analysis.
+	row := Table2(Figure3Config{Seed: 1, Duration: 5 * simtime.Second, PCPUs: 15, Requests: 10})
+	if got := row.RTXenAllocated; !close3(got, 2.3278) {
+		t.Errorf("Table2 RT-Xen allocated = %.4f, golden 2.3278", got)
+	}
+	if got := row.RTVirtAllocated; !close3(got, 2.1133) {
+		t.Errorf("Table2 RTVirt allocated = %.4f, golden 2.1133", got)
+	}
+	if row.RTXenClaimed != 3 {
+		t.Errorf("Table2 claimed = %.0f, golden 3", row.RTXenClaimed)
+	}
+
+	// Figure 5a headline at seed 1, 60s.
+	cfg := DefaultFigure5Config()
+	cfg.Duration = 60 * simtime.Second
+	rows := Figure5a(cfg)
+	byArm := map[Arm]Figure5Row{}
+	for _, r := range rows {
+		byArm[r.Arm] = r
+	}
+	if got := byArm[ArmRTVirt].P999; got != 57946 {
+		t.Errorf("Fig5a RTVirt p99.9 = %dns, golden 57946ns", int64(got))
+	}
+	if got := byArm[ArmCredit].P999; got < simtime.Micros(500) {
+		t.Errorf("Fig5a Credit p99.9 = %v, golden >500µs", got)
+	}
+
+	// Figure 1 baseline at seed 1.
+	f1 := Figure1(1, 30*simtime.Second)
+	if got := f1.Baseline["RTA2"]; !close3(got, 0.9995) {
+		t.Errorf("Fig1 baseline RTA2 miss = %.4f, golden 0.9995", got)
+	}
+	if f1.RTVirt["RTA2"] != 0 {
+		t.Errorf("Fig1 RTVirt RTA2 miss = %v, golden 0", f1.RTVirt["RTA2"])
+	}
+}
+
+func close3(got, want float64) bool {
+	d := got - want
+	return d < 0.001 && d > -0.001
+}

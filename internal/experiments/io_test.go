@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rtvirt/internal/core"
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/workload"
+)
+
+func TestIOBoundContrast(t *testing.T) {
+	rows := IOBound(1, 60*simtime.Second)
+	var rtv, credit IORow
+	for _, r := range rows {
+		if r.Stack == core.RTVirt {
+			rtv = r
+		} else {
+			credit = r
+		}
+	}
+	slo := workload.DefaultIOAppConfig().SLO
+	// RTVirt's reservation keeps the CPU phases — and thus end-to-end —
+	// inside the SLO despite 19 hogs.
+	if rtv.Violations != 0 {
+		t.Fatalf("RTVirt violations = %d (p99.9 %v)", rtv.Violations, rtv.EndToEndP999)
+	}
+	if rtv.EndToEndP999 > slo {
+		t.Fatalf("RTVirt end-to-end p99.9 = %v", rtv.EndToEndP999)
+	}
+	// Credit's CPU phases balloon under contention: tail beyond RTVirt's.
+	if credit.CPUPhaseP999 <= rtv.CPUPhaseP999 {
+		t.Fatalf("Credit CPU-phase p99.9 %v should exceed RTVirt %v",
+			credit.CPUPhaseP999, rtv.CPUPhaseP999)
+	}
+	if !strings.Contains(RenderIO(rows, slo), "end-to-end") {
+		t.Fatal("render broken")
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rtvirt/internal/metrics"
+	"rtvirt/internal/simtime"
+)
+
+// RobustnessResult summarises a headline claim across random seeds.
+type RobustnessResult struct {
+	Claim string
+	// Held counts seeds where the claim held, out of Runs.
+	Held, Runs int
+	// Values holds the per-seed headline metric (for the spread columns).
+	Values []float64
+	Unit   string
+}
+
+// Min/Median/Max report the spread of the headline metric.
+func (r RobustnessResult) Min() float64    { return r.quantile(0) }
+func (r RobustnessResult) Median() float64 { return r.quantile(0.5) }
+func (r RobustnessResult) Max() float64    { return r.quantile(1) }
+
+func (r RobustnessResult) quantile(q float64) float64 {
+	if len(r.Values) == 0 {
+		return 0
+	}
+	v := append([]float64(nil), r.Values...)
+	sort.Float64s(v)
+	idx := int(q * float64(len(v)-1))
+	return v[idx]
+}
+
+// Robustness re-runs the paper's headline experiments across seeds and
+// checks that every claim survives the randomness of the workloads — the
+// difference between reproducing a number and reproducing a finding.
+func Robustness(runs int, duration simtime.Duration) []RobustnessResult {
+	if runs <= 0 {
+		runs = 5
+	}
+	out := []RobustnessResult{
+		{Claim: "Fig1: two-level EDF misses RTA2; RTVirt does not", Unit: "baseline miss %"},
+		{Claim: "Fig5a: RTVirt meets the 500µs SLO; Credit does not", Unit: "RTVirt p99.9 µs"},
+		{Claim: "Fig5a: RTVirt uses ≥45% less bandwidth than RT-Xen A", Unit: "saving %"},
+		{Claim: "T6: RTVirt admits all 100 RTAs at <1% overhead, below RT-Xen", Unit: "RTVirt overhead %"},
+	}
+	for seed := uint64(1); seed <= uint64(runs); seed++ {
+		// Figure 1.
+		f1 := Figure1(seed, simtime.MinDur(duration, 30*simtime.Second))
+		held := f1.Baseline["RTA2"] > 0.25 && f1.RTVirt["RTA2"] == 0
+		record(&out[0], held, 100*f1.Baseline["RTA2"])
+
+		// Figure 5a.
+		cfg5 := DefaultFigure5Config()
+		cfg5.Seed = seed
+		cfg5.Duration = duration
+		rows := Figure5a(cfg5)
+		byArm := map[Arm]Figure5Row{}
+		for _, r := range rows {
+			byArm[r.Arm] = r
+		}
+		rtv, credit, xenA := byArm[ArmRTVirt], byArm[ArmCredit], byArm[ArmRTXenA]
+		record(&out[1], rtv.SLOMet && !credit.SLOMet, rtv.P999.Micros())
+		saving := 1 - rtv.AllocatedBW/xenA.AllocatedBW
+		record(&out[2], saving >= 0.45, 100*saving)
+
+		// Table 6 (single-RTA scenario).
+		t6cfg := DefaultTable6Config()
+		t6cfg.Seed = seed
+		t6cfg.Duration = simtime.MinDur(duration, 10*simtime.Second)
+		t6 := Table6(SingleRTAVMs, t6cfg)
+		byFw := map[string]Table6Row{}
+		for _, r := range t6 {
+			byFw[r.Framework] = r
+		}
+		rtv6, xen6 := byFw["RTVirt"], byFw["RT-Xen"]
+		held6 := rtv6.RTAsAdmitted == 100 && rtv6.OverheadPct < 1.0 &&
+			rtv6.OverheadPct < xen6.OverheadPct
+		record(&out[3], held6, rtv6.OverheadPct)
+	}
+	return out
+}
+
+func record(r *RobustnessResult, held bool, value float64) {
+	r.Runs++
+	if held {
+		r.Held++
+	}
+	r.Values = append(r.Values, value)
+}
+
+// RenderRobustness formats the summary.
+func RenderRobustness(results []RobustnessResult) string {
+	t := metrics.NewTable("Claim", "held", "metric", "min", "median", "max")
+	for _, r := range results {
+		t.AddRow(r.Claim, fmt.Sprintf("%d/%d", r.Held, r.Runs), r.Unit,
+			fmt.Sprintf("%.2f", r.Min()), fmt.Sprintf("%.2f", r.Median()),
+			fmt.Sprintf("%.2f", r.Max()))
+	}
+	var b strings.Builder
+	b.WriteString("Robustness — headline claims across seeds\n")
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rtvirt/internal/simtime"
+)
+
+func TestRobustnessAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	results := Robustness(4, 30*simtime.Second)
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Runs != 4 {
+			t.Fatalf("%s: runs = %d", r.Claim, r.Runs)
+		}
+		if r.Held != r.Runs {
+			t.Errorf("%s: held only %d/%d (median %s = %.2f)",
+				r.Claim, r.Held, r.Runs, r.Unit, r.Median())
+		}
+		if r.Min() > r.Median() || r.Median() > r.Max() {
+			t.Errorf("%s: spread not ordered", r.Claim)
+		}
+	}
+	if !strings.Contains(RenderRobustness(results), "held") {
+		t.Fatal("render broken")
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rtvirt/internal/simtime"
+)
+
+func t6cfg() Table6Config {
+	return Table6Config{Seed: 1, Duration: 10 * simtime.Second, PCPUs: 15}
+}
+
+func TestTable6MultiRTA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scalability run")
+	}
+	rows := Table6(MultiRTAVMs, t6cfg())
+	byFw := map[string]Table6Row{}
+	for _, r := range rows {
+		byFw[r.Framework] = r
+	}
+	rtv, rtx := byFw["RTVirt"], byFw["RT-Xen"]
+	// §4.5: RTVirt admits all 100 RTAs; RT-Xen's analysis cannot (80 in
+	// the paper's run).
+	if rtv.RTAsAdmitted != 100 {
+		t.Fatalf("RTVirt admitted %d/100 RTAs", rtv.RTAsAdmitted)
+	}
+	if rtx.RTAsAdmitted >= 100 {
+		t.Fatalf("RT-Xen admitted all %d RTAs; CSA pessimism should reject some", rtx.RTAsAdmitted)
+	}
+	// Timeliness: the paper's overall claim is deadline misses under 1%
+	// (§7); this scenario reported none, ours shows a small residue from
+	// near-100%-utilization split-VCPU blocking.
+	if rtv.Misses.Ratio() > 0.005 {
+		t.Fatalf("RTVirt miss ratio %.4f", rtv.Misses.Ratio())
+	}
+	// Overhead: under 1% for RTVirt and below RT-Xen's.
+	if rtv.OverheadPct > 1.0 {
+		t.Fatalf("RTVirt overhead %.3f%%, paper reports 0.10%%", rtv.OverheadPct)
+	}
+	if rtv.ScheduleTime >= rtx.ScheduleTime {
+		t.Fatalf("RTVirt schedule time %v not below RT-Xen %v", rtv.ScheduleTime, rtx.ScheduleTime)
+	}
+	if rtv.OverheadPct >= rtx.OverheadPct {
+		t.Fatalf("RTVirt overhead %.3f%% not below RT-Xen %.3f%%", rtv.OverheadPct, rtx.OverheadPct)
+	}
+	t.Log(RenderTable6(rows))
+}
+
+func TestTable6SingleRTA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scalability run")
+	}
+	rows := Table6(SingleRTAVMs, t6cfg())
+	byFw := map[string]Table6Row{}
+	for _, r := range rows {
+		byFw[r.Framework] = r
+	}
+	rtv, rtx := byFw["RTVirt"], byFw["RT-Xen"]
+	if rtv.RTAsAdmitted != 100 || rtv.VMs != 100 {
+		t.Fatalf("RTVirt admitted %d RTAs on %d VMs, want 100/100", rtv.RTAsAdmitted, rtv.VMs)
+	}
+	if rtx.RTAsAdmitted >= 100 {
+		t.Fatalf("RT-Xen admitted all %d RTAs; the paper could only fit 93", rtx.RTAsAdmitted)
+	}
+	// Paper: 0.007% misses for RTVirt here, 0.93% overhead.
+	if rtv.Misses.Ratio() > 0.001 {
+		t.Fatalf("RTVirt miss ratio %.5f", rtv.Misses.Ratio())
+	}
+	if rtv.OverheadPct > 1.5 {
+		t.Fatalf("RTVirt overhead %.3f%%, paper reports 0.93%%", rtv.OverheadPct)
+	}
+	if !strings.Contains(RenderTable6(rows), "RT-Xen") {
+		t.Fatal("render broken")
+	}
+	t.Log(RenderTable6(rows))
+}

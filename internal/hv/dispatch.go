@@ -1,0 +1,272 @@
+package hv
+
+import (
+	"fmt"
+
+	"rtvirt/internal/eventq"
+	"rtvirt/internal/simtime"
+)
+
+// eventRef aliases the event handle type so vcpu.go stays import-light.
+type eventRef = eventq.Event
+
+// DebugVM, when non-empty, logs job execution for the named VM.
+var DebugVM string
+
+// advance applies elapsed time on PCPU p up to now: overhead first, then
+// job execution on the dispatched VCPU. Completion is detected here; the
+// follow-up (picking the next job) happens in refresh/dispatch.
+func (h *Host) advance(p *PCPU, now simtime.Time) {
+	if now < p.lastAdvance {
+		panic(fmt.Sprintf("hv: advance backwards on %v (%v < %v)", p, now, p.lastAdvance))
+	}
+	if now == p.lastAdvance {
+		return
+	}
+	start := p.lastAdvance
+	p.lastAdvance = now
+
+	// Overhead window [start, min(overheadUntil, now)).
+	if p.overheadUntil > start {
+		ovEnd := simtime.Min(p.overheadUntil, now)
+		p.OverheadTime += ovEnd.Sub(start)
+		start = ovEnd
+	}
+	if start >= now {
+		return
+	}
+	run := now.Sub(start)
+	v := p.cur
+	if v == nil {
+		p.IdleTime += run
+		return
+	}
+	j := v.curJob
+	if j == nil {
+		// Dispatched but between jobs (e.g. completion processed, pick
+		// pending). Counts as idle-in-guest.
+		p.IdleTime += run
+		return
+	}
+	if run > j.Remaining {
+		panic(fmt.Sprintf("hv: %v overran job by %v (events must be exact)", v, run-j.Remaining))
+	}
+	v.TotalRun += run
+	p.BusyTime += run
+	if DebugVM != "" && v.VM.Name == DebugVM {
+		fmt.Printf("[hv] %v..%v %v ran job seq=%d rem %v -> %v\n", start, now, v, j.Seq, j.Remaining, j.Remaining-run)
+	}
+	if j.Consume(run) {
+		j.Complete(now)
+		v.curJob = nil
+		if h.tracer != nil {
+			h.tracer.TraceJobDone(v, j, now)
+		}
+		v.VM.Guest.JobCompleted(v, j, now)
+	}
+}
+
+// setEvent replaces the PCPU's pending kernel event.
+func (h *Host) setEvent(p *PCPU, at simtime.Time) {
+	h.Sim.Cancel(p.ev)
+	p.ev = nil
+	if at == simtime.Never {
+		return
+	}
+	p.ev = h.Sim.At(at, func(now simtime.Time) {
+		p.ev = nil
+		h.refresh(p, now)
+	})
+}
+
+// refresh re-evaluates PCPU p at now: it advances accounting, then either
+// re-dispatches (allocation expired), continues the current VCPU with its
+// next job (job completed mid-allocation), or just re-arms the event.
+func (h *Host) refresh(p *PCPU, now simtime.Time) {
+	h.advance(p, now)
+	if now >= p.allocEnd {
+		h.dispatch(p, now)
+		return
+	}
+	if p.cur != nil && p.cur.curJob == nil {
+		// Job finished inside the allocation: let the guest pick the next
+		// one without involving the host scheduler.
+		h.continueVCPU(p, now)
+		return
+	}
+	h.armEvent(p, now)
+}
+
+// continueVCPU asks the guest for the dispatched VCPU's next job within the
+// current host allocation. If the guest has nothing, the VCPU blocks and
+// the host scheduler decides what to run instead.
+func (h *Host) continueVCPU(p *PCPU, now simtime.Time) {
+	v := p.cur
+	j := v.VM.Guest.PickJob(v, now)
+	if j == nil {
+		v.runnable = false
+		v.curJob = nil
+		v.pcpu = nil
+		p.cur = nil
+		if h.tracer != nil {
+			h.tracer.TraceDispatch(p, nil, now)
+		}
+		h.sched.VCPUIdle(v, now)
+		h.dispatch(p, now)
+		return
+	}
+	if j != v.curJob {
+		h.Overhead.GuestSwitches++
+		h.Overhead.GuestSwitchTime += h.Costs.GuestSwitch
+		p.chargeOverhead(now, h.Costs.GuestSwitch)
+	}
+	v.curJob = j
+	h.armEvent(p, now)
+}
+
+// armEvent schedules the next kernel event for p: the earlier of the host
+// allocation end and the running job's projected completion.
+func (h *Host) armEvent(p *PCPU, now simtime.Time) {
+	at := p.allocEnd
+	if p.cur != nil && p.cur.curJob != nil {
+		execStart := simtime.Max(now, p.overheadUntil)
+		done := execStart.Add(p.cur.curJob.Remaining)
+		at = simtime.Min(at, done)
+	}
+	h.setEvent(p, at)
+}
+
+// dispatch runs the host scheduler on PCPU p until it produces a runnable
+// decision, charging schedule/context-switch/migration costs.
+func (h *Host) dispatch(p *PCPU, now simtime.Time) {
+	for iter := 0; ; iter++ {
+		if iter > len(h.vcpus)+4 {
+			panic(fmt.Sprintf("hv: scheduler %q livelocked dispatching %v", h.sched.Name(), p))
+		}
+		dec := h.sched.Schedule(p, now)
+		cost := h.Costs.ScheduleBase + simtime.Duration(dec.Work)*h.Costs.SchedulePerEntity
+		h.Overhead.ScheduleCalls++
+		h.Overhead.ScheduleTime += cost
+		p.chargeOverhead(now, cost)
+		if dec.VCPU != nil && dec.RunFor <= 0 {
+			panic(fmt.Sprintf("hv: scheduler %q returned non-positive RunFor", h.sched.Name()))
+		}
+		if dec.VCPU != nil && !dec.VCPU.runnable {
+			panic(fmt.Sprintf("hv: scheduler %q picked blocked %v", h.sched.Name(), dec.VCPU))
+		}
+
+		old := p.cur
+		if dec.VCPU != old {
+			if old != nil {
+				old.pcpu = nil
+				old.curJob = nil // the unfinished job stays queued in the guest
+				// If the preempted VCPU's queue is empty (its job finished
+				// right at this instant), it must block now — otherwise a
+				// stale runnable flag would make the guest skip the wake on
+				// the next job release.
+				if old.runnable && old.VM.Guest.PickJob(old, now) == nil {
+					old.runnable = false
+					h.sched.VCPUIdle(old, now)
+				}
+			}
+			h.Overhead.CtxSwitches++
+			h.Overhead.CtxSwitchTime += h.Costs.ContextSwitch
+			p.chargeOverhead(now, h.Costs.ContextSwitch)
+			if nv := dec.VCPU; nv != nil {
+				if nv.pcpu != nil {
+					panic(fmt.Sprintf("hv: %v dispatched on two PCPUs", nv))
+				}
+				if nv.lastPCPU != nil && nv.lastPCPU != p {
+					h.Overhead.Migrations++
+					h.Overhead.MigrationTime += h.Costs.Migration
+					p.chargeOverhead(now, h.Costs.Migration)
+				}
+				nv.pcpu = p
+				nv.lastPCPU = p
+			}
+			p.cur = dec.VCPU
+			if h.tracer != nil {
+				h.tracer.TraceDispatch(p, dec.VCPU, now)
+			}
+		}
+		p.allocEnd = now.Add(dec.RunFor)
+
+		if p.cur == nil {
+			h.setEvent(p, p.allocEnd)
+			return
+		}
+		j := p.cur.VM.Guest.PickJob(p.cur, now)
+		if j == nil {
+			v := p.cur
+			v.runnable = false
+			v.curJob = nil
+			v.pcpu = nil
+			p.cur = nil
+			if h.tracer != nil {
+				h.tracer.TraceDispatch(p, nil, now)
+			}
+			h.sched.VCPUIdle(v, now)
+			continue
+		}
+		p.cur.curJob = j
+		h.armEvent(p, now)
+		return
+	}
+}
+
+// Kick forces PCPU p to re-run its scheduler now. Host schedulers call it
+// when a higher-priority VCPU appears.
+func (h *Host) Kick(p *PCPU, now simtime.Time) {
+	h.Sim.Cancel(p.ev)
+	p.ev = nil
+	h.advance(p, now)
+	h.dispatch(p, now)
+}
+
+// VCPUWake marks v runnable (the guest released a job on an idle VCPU) and
+// notifies the host scheduler, which may preempt a PCPU in response.
+func (h *Host) VCPUWake(v *VCPU, now simtime.Time) {
+	if v.runnable {
+		return
+	}
+	v.runnable = true
+	h.sched.VCPUWake(v, now)
+}
+
+// VCPURecheck re-evaluates which job a dispatched VCPU should run; the
+// guest calls it when a newly released job preempts the current one under
+// guest-level EDF. For undispatched VCPUs it is a no-op (the guest queue
+// is consulted at next dispatch).
+func (h *Host) VCPURecheck(v *VCPU, now simtime.Time) {
+	p := v.pcpu
+	if p == nil {
+		return
+	}
+	h.Sim.Cancel(p.ev)
+	p.ev = nil
+	h.advance(p, now)
+	if p.cur != v { // completed & switched during advance
+		h.refresh(p, now)
+		return
+	}
+	j := v.VM.Guest.PickJob(v, now)
+	if j == nil {
+		v.runnable = false
+		v.curJob = nil
+		v.pcpu = nil
+		p.cur = nil
+		if h.tracer != nil {
+			h.tracer.TraceDispatch(p, nil, now)
+		}
+		h.sched.VCPUIdle(v, now)
+		h.dispatch(p, now)
+		return
+	}
+	if j != v.curJob {
+		h.Overhead.GuestSwitches++
+		h.Overhead.GuestSwitchTime += h.Costs.GuestSwitch
+		p.chargeOverhead(now, h.Costs.GuestSwitch)
+		v.curJob = j
+	}
+	h.armEvent(p, now)
+}

@@ -1,0 +1,247 @@
+package hv
+
+import (
+	"fmt"
+
+	"rtvirt/internal/sim"
+	"rtvirt/internal/simtime"
+)
+
+// Host is the virtual machine monitor: it owns the physical CPUs, the VMs,
+// and one host scheduler, and drives all dispatching.
+type Host struct {
+	Sim   *sim.Simulator
+	Costs CostModel
+
+	sched HostScheduler
+	pcpus []*PCPU
+	vms   []*VM
+	vcpus []*VCPU
+
+	// Overhead accumulates scheduler overhead (Table 6 measurements).
+	Overhead Overhead
+
+	started   bool
+	startTime simtime.Time
+	nextVCPU  int
+	tracer    Tracer
+}
+
+// NewHost creates a host with m PCPUs driven by sched.
+func NewHost(s *sim.Simulator, m int, sched HostScheduler, costs CostModel) *Host {
+	if m <= 0 {
+		panic("hv: host needs at least one PCPU")
+	}
+	h := &Host{Sim: s, Costs: costs, sched: sched}
+	for i := 0; i < m; i++ {
+		h.pcpus = append(h.pcpus, &PCPU{ID: i, host: h})
+	}
+	sched.Attach(h)
+	return h
+}
+
+// Scheduler returns the attached host scheduler.
+func (h *Host) Scheduler() HostScheduler { return h.sched }
+
+// SetTracer installs a scheduling-event tracer (nil disables tracing).
+func (h *Host) SetTracer(t Tracer) { h.tracer = t }
+
+// PCPUs returns the host's physical CPUs.
+func (h *Host) PCPUs() []*PCPU { return h.pcpus }
+
+// NumPCPUs reports the number of physical CPUs.
+func (h *Host) NumPCPUs() int { return len(h.pcpus) }
+
+// VMs returns the hosted virtual machines.
+func (h *Host) VMs() []*VM { return h.vms }
+
+// VCPUs returns every VCPU on the host in creation order.
+func (h *Host) VCPUs() []*VCPU { return h.vcpus }
+
+// NewVM creates a VM whose scheduling behaviour is defined by guest.
+func (h *Host) NewVM(name string, guest GuestDriver) *VM {
+	vm := &VM{ID: len(h.vms), Name: name, Guest: guest, host: h}
+	h.vms = append(h.vms, vm)
+	return vm
+}
+
+// Start installs the scheduler's events and dispatches every PCPU. Call it
+// after creating the initial VMs and before running the simulator.
+func (h *Host) Start() {
+	if h.started {
+		panic("hv: Host.Start called twice")
+	}
+	h.started = true
+	h.startTime = h.Sim.Now()
+	h.sched.Start(h.Sim.Now())
+	for _, p := range h.pcpus {
+		p.lastAdvance = h.Sim.Now()
+		h.dispatch(p, h.Sim.Now())
+	}
+}
+
+// StartTime reports when Start was called.
+func (h *Host) StartTime() simtime.Time { return h.startTime }
+
+// addVCPU registers a new VCPU with the host and its scheduler.
+func (h *Host) addVCPU(vm *VM, rt bool, res Reservation, weight int) (*VCPU, error) {
+	v := &VCPU{
+		ID:           h.nextVCPU,
+		VM:           vm,
+		Index:        len(vm.VCPUs),
+		RT:           rt,
+		Res:          res,
+		Weight:       weight,
+		DeadlineSlot: simtime.Never,
+	}
+	if err := h.sched.AdmitVCPU(v); err != nil {
+		return nil, err
+	}
+	h.nextVCPU++
+	vm.VCPUs = append(vm.VCPUs, v)
+	h.vcpus = append(h.vcpus, v)
+	return v, nil
+}
+
+// SchedRTVirt is the sched_rtvirt() hypercall: the guest requests a change
+// to one or two VCPUs' reservations. It charges the hypercall cost and
+// forwards to the host scheduler's cross-layer handler.
+func (h *Host) SchedRTVirt(hc Hypercall) error {
+	now := h.Sim.Now()
+	h.Overhead.Hypercalls++
+	h.Overhead.HypercallTime += h.Costs.Hypercall
+	// The hypercall executes in the calling guest's kernel: if that VCPU is
+	// on a PCPU right now, the cost eats into its CPU time.
+	if hc.VCPU != nil && hc.VCPU.pcpu != nil {
+		p := hc.VCPU.pcpu
+		h.advance(p, now)
+		p.chargeOverhead(now, h.Costs.Hypercall)
+	}
+	cl, ok := h.sched.(CrossLayer)
+	if !ok {
+		return ErrNoCrossLayer
+	}
+	return cl.HandleHypercall(hc, now)
+}
+
+// WriteDeadlineSlot is the guest side of the shared-memory page: it stores
+// VCPU v's next earliest deadline where the host scheduler can read it.
+// The real system uses one 8-byte word per VCPU with no synchronization,
+// relying on cache coherence (§3.3); here it is a direct field write plus
+// a counter so the communication volume can be reported.
+func (h *Host) WriteDeadlineSlot(v *VCPU, deadline simtime.Time) {
+	v.DeadlineSlot = deadline
+	h.Overhead.ShmWrites++
+	if w, ok := h.sched.(SlotWatcher); ok {
+		w.SlotUpdated(v, h.Sim.Now())
+	}
+}
+
+// WriteSporadicFloor updates the second shared-memory word: the minimum
+// period across the VCPU's sporadic RTAs (0 = none). See VCPU.SporadicFloor.
+func (h *Host) WriteSporadicFloor(v *VCPU, floor simtime.Duration) {
+	v.SporadicFloor = floor
+	h.Overhead.ShmWrites++
+	if w, ok := h.sched.(SlotWatcher); ok {
+		w.SlotUpdated(v, h.Sim.Now())
+	}
+}
+
+// ChargeScheduleWork accounts scheduler work performed outside a
+// Schedule() callback — e.g. DP-WRAP's global-deadline computation, which
+// runs on one PCPU at every global slice boundary (§3.3). The cost is
+// added to the schedule-time meter and delays execution on p.
+func (h *Host) ChargeScheduleWork(p *PCPU, cost simtime.Duration) {
+	if cost <= 0 {
+		return
+	}
+	now := h.Sim.Now()
+	h.Overhead.ScheduleTime += cost
+	h.advance(p, now)
+	p.chargeOverhead(now, cost)
+}
+
+// RemoveVM tears a VM down: every VCPU is undispatched, withdrawn from
+// the scheduler and dropped from the host's lists. The guest should have
+// unregistered its tasks first (abandoning queued jobs); any job still
+// on-CPU is charged up to now and then discarded.
+func (h *Host) RemoveVM(vm *VM) {
+	now := h.Sim.Now()
+	var orphaned []*PCPU
+	for _, v := range vm.VCPUs {
+		if p := v.pcpu; p != nil {
+			h.Sim.Cancel(p.ev)
+			p.ev = nil
+			h.advance(p, now)
+			if p.cur == v {
+				if j := v.curJob; j != nil {
+					j.Abandon(now)
+				}
+				v.curJob = nil
+				v.pcpu = nil
+				p.cur = nil
+				if h.tracer != nil {
+					h.tracer.TraceDispatch(p, nil, now)
+				}
+				orphaned = append(orphaned, p)
+			}
+		}
+		v.runnable = false
+		h.sched.RemoveVCPU(v, now)
+		for i, x := range h.vcpus {
+			if x == v {
+				h.vcpus = append(h.vcpus[:i], h.vcpus[i+1:]...)
+				break
+			}
+		}
+	}
+	for i, x := range h.vms {
+		if x == vm {
+			h.vms = append(h.vms[:i], h.vms[i+1:]...)
+			break
+		}
+	}
+	// Re-dispatch PCPUs that lost their occupant (schedulers that replan
+	// on removal have already done this; an extra kick is harmless).
+	if h.started {
+		for _, p := range orphaned {
+			if p.cur == nil && p.ev == nil {
+				h.Kick(p, now)
+			}
+		}
+	}
+}
+
+// TotalRunTime sums job execution time across all PCPUs.
+func (h *Host) TotalRunTime() simtime.Duration {
+	var total simtime.Duration
+	for _, p := range h.pcpus {
+		total += p.BusyTime
+	}
+	return total
+}
+
+// OverheadPercent reports total scheduler overhead as a percentage of the
+// host's total CPU time since Start.
+func (h *Host) OverheadPercent() float64 {
+	span := h.Sim.Now().Sub(h.startTime)
+	return h.Overhead.Percent(span, len(h.pcpus))
+}
+
+// Sync brings every PCPU's execution accounting up to the current instant.
+// Call before reading BusyTime/TotalRun style counters mid-run.
+func (h *Host) Sync() {
+	now := h.Sim.Now()
+	for _, p := range h.pcpus {
+		h.advance(p, now)
+		// A job may have completed exactly at now; give the guest a chance
+		// to queue the next one.
+		if p.cur != nil && p.cur.curJob == nil {
+			h.refresh(p, now)
+		}
+	}
+}
+
+func (h *Host) String() string {
+	return fmt.Sprintf("host(%s, %d pcpus, %d vms)", h.sched.Name(), len(h.pcpus), len(h.vms))
+}

@@ -1,0 +1,205 @@
+// Package hv models the virtual machine monitor (VMM) of a multiprocessor
+// host: physical CPUs, VMs, virtual CPUs, the host-scheduler interface, and
+// the paravirtual cross-layer channel (the sched_rtvirt() hypercall and the
+// shared-memory deadline slots) described in §3 of the RTVirt paper.
+//
+// The kernel is a discrete-event model. It is exact: CPU time consumed by
+// jobs, scheduler invocations, context switches, and migrations is
+// accounted in integer nanoseconds, so deadline misses and overhead
+// percentages are deterministic functions of the scheduling decisions.
+package hv
+
+import (
+	"errors"
+	"fmt"
+
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/task"
+)
+
+// Reservation is a host-level CPU reservation for a VCPU: Budget units of
+// CPU time in every Period. It is the unit of cross-layer communication.
+type Reservation struct {
+	Budget simtime.Duration
+	Period simtime.Duration
+}
+
+// Bandwidth reports the fraction of one PCPU the reservation needs.
+func (r Reservation) Bandwidth() float64 {
+	if r.Period == 0 {
+		return 0
+	}
+	return float64(r.Budget) / float64(r.Period)
+}
+
+// Valid reports whether the reservation is well-formed.
+func (r Reservation) Valid() bool {
+	return r.Budget >= 0 && r.Period > 0 && r.Budget <= r.Period
+}
+
+// String implements fmt.Stringer.
+func (r Reservation) String() string {
+	return fmt.Sprintf("(budget=%v, period=%v)", r.Budget, r.Period)
+}
+
+// CostModel holds the platform costs the simulator charges. The defaults
+// mirror the constants reported in §4 of the paper.
+type CostModel struct {
+	Hypercall         simtime.Duration // per sched_rtvirt() call
+	ContextSwitch     simtime.Duration // host-level VCPU switch
+	Migration         simtime.Duration // extra cost when a VCPU changes PCPU
+	ScheduleBase      simtime.Duration // fixed cost per schedule() call
+	SchedulePerEntity simtime.Duration // additional cost per entity examined
+	GuestSwitch       simtime.Duration // guest-level process switch
+}
+
+// DefaultCosts returns the cost model used throughout the evaluation.
+func DefaultCosts() CostModel {
+	return CostModel{
+		Hypercall:         simtime.Micros(10), // §4.5: 10µs per hypercall
+		ContextSwitch:     simtime.Micros(2),
+		Migration:         simtime.Micros(3),
+		ScheduleBase:      simtime.Micros(1),
+		SchedulePerEntity: 100 * simtime.Nanosecond,
+		GuestSwitch:       simtime.Microsecond,
+	}
+}
+
+// Overhead accumulates the scheduler-overhead measurements reported in
+// Table 6 of the paper.
+type Overhead struct {
+	ScheduleCalls   uint64
+	ScheduleTime    simtime.Duration
+	CtxSwitches     uint64
+	CtxSwitchTime   simtime.Duration
+	Migrations      uint64
+	MigrationTime   simtime.Duration
+	Hypercalls      uint64
+	HypercallTime   simtime.Duration
+	GuestSwitches   uint64
+	GuestSwitchTime simtime.Duration
+	ShmWrites       uint64
+}
+
+// Total reports the total overhead time (schedule + context switches +
+// migrations + hypercalls + guest switches).
+func (o Overhead) Total() simtime.Duration {
+	return o.ScheduleTime + o.CtxSwitchTime + o.MigrationTime + o.HypercallTime + o.GuestSwitchTime
+}
+
+// Percent reports overhead as a percentage of span × pcpus of CPU time.
+func (o Overhead) Percent(span simtime.Duration, pcpus int) float64 {
+	if span <= 0 || pcpus <= 0 {
+		return 0
+	}
+	return 100 * float64(o.Total()) / (float64(span) * float64(pcpus))
+}
+
+// GuestDriver is the guest OS as seen by the VMM: it owns the VM's task
+// queues and picks the job a dispatched VCPU executes.
+type GuestDriver interface {
+	// PickJob returns the job VCPU v should execute at now, or nil when the
+	// VCPU has no runnable work (the VCPU then blocks until woken).
+	PickJob(v *VCPU, now simtime.Time) *task.Job
+	// JobCompleted notifies the guest that j finished at now. The kernel
+	// has already recorded completion in the task's stats.
+	JobCompleted(v *VCPU, j *task.Job, now simtime.Time)
+}
+
+// Decision is a host scheduler's answer to "what should this PCPU run".
+type Decision struct {
+	VCPU   *VCPU            // nil to leave the PCPU idle
+	RunFor simtime.Duration // how long until the scheduler wants control back
+	Work   int              // entities examined; drives the overhead model
+}
+
+// HostScheduler is the VMM scheduling algorithm. Implementations:
+// dpwrap (RTVirt), rtxen (gEDF + deferrable server), credit (Xen default).
+type HostScheduler interface {
+	Name() string
+	// Attach wires the scheduler to the host. Called once from NewHost.
+	Attach(h *Host)
+	// Start installs the scheduler's recurring events (period boundaries,
+	// ticks). Called from Host.Start.
+	Start(now simtime.Time)
+	// AdmitVCPU performs admission control for a new VCPU with its current
+	// reservation (possibly zero). An error rejects the VCPU.
+	AdmitVCPU(v *VCPU) error
+	// RemoveVCPU withdraws a VCPU from scheduling.
+	RemoveVCPU(v *VCPU, now simtime.Time)
+	// UpdateVCPU re-runs admission for a changed reservation; on error the
+	// previous reservation remains in force.
+	UpdateVCPU(v *VCPU, res Reservation, now simtime.Time) error
+	// VCPUWake notifies that v became runnable.
+	VCPUWake(v *VCPU, now simtime.Time)
+	// VCPUIdle notifies that v blocked (its guest has no runnable work).
+	VCPUIdle(v *VCPU, now simtime.Time)
+	// Schedule picks what PCPU p should run next.
+	Schedule(p *PCPU, now simtime.Time) Decision
+}
+
+// HypercallFlag selects the sched_rtvirt() operation (§3.2).
+type HypercallFlag int
+
+// Hypercall flags.
+const (
+	IncBW    HypercallFlag = iota // request more bandwidth for one VCPU
+	DecBW                         // release bandwidth from one VCPU
+	IncDecBW                      // atomically move bandwidth between two VCPUs
+)
+
+// String implements fmt.Stringer.
+func (f HypercallFlag) String() string {
+	switch f {
+	case IncBW:
+		return "INC_BW"
+	case DecBW:
+		return "DEC_BW"
+	case IncDecBW:
+		return "INC_DEC_BW"
+	default:
+		return fmt.Sprintf("HypercallFlag(%d)", int(f))
+	}
+}
+
+// Hypercall is one sched_rtvirt() invocation: the guest communicates a
+// VCPU's new reservation to the host scheduler.
+type Hypercall struct {
+	Flag HypercallFlag
+	VCPU *VCPU
+	Res  Reservation
+	// Dec names the VCPU whose bandwidth shrinks in an INC_DEC_BW call.
+	Dec    *VCPU
+	DecRes Reservation
+}
+
+// CrossLayer is implemented by host schedulers that understand the
+// sched_rtvirt() hypercall (the RTVirt DP-WRAP scheduler).
+type CrossLayer interface {
+	HandleHypercall(hc Hypercall, now simtime.Time) error
+}
+
+// SlotWatcher is implemented by host schedulers that react to guest
+// shared-memory writes (DP-WRAP shortens an in-flight global slice when a
+// guest publishes a deadline earlier than the slice end). Implementations
+// must not re-dispatch synchronously — a write can happen inside the
+// dispatch path — so they defer any replanning to a same-instant event.
+type SlotWatcher interface {
+	SlotUpdated(v *VCPU, now simtime.Time)
+}
+
+// Tracer receives scheduling events for offline inspection; see
+// internal/trace for a recording implementation.
+type Tracer interface {
+	// TraceDispatch fires when PCPU p switches to VCPU v (nil = idle).
+	TraceDispatch(p *PCPU, v *VCPU, now simtime.Time)
+	// TraceJobDone fires when a job completes on v.
+	TraceJobDone(v *VCPU, j *task.Job, now simtime.Time)
+}
+
+// ErrNoCrossLayer is returned when sched_rtvirt() is invoked on a host
+// whose scheduler has no cross-layer support (e.g. Credit, RT-Xen).
+var ErrNoCrossLayer = errors.New("hv: host scheduler does not implement sched_rtvirt")
+
+// ErrAdmission is wrapped by admission-control rejections.
+var ErrAdmission = errors.New("admission control rejected request")

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"fmt"
+
+	"rtvirt/internal/simtime"
+)
+
+// P2Quantile is the Jain–Chlamtac P² streaming quantile estimator: it
+// tracks one quantile of an unbounded latency stream in O(1) memory, for
+// simulations too long to retain every sample (LatencyRecorder keeps them
+// all and is exact).
+type P2Quantile struct {
+	p     float64 // target quantile in (0,1)
+	n     int     // samples seen
+	q     [5]float64
+	pos   [5]int
+	want  [5]float64
+	inc   [5]float64
+	first [5]float64 // buffer for the initial five samples
+}
+
+// NewP2Quantile creates an estimator for quantile p in (0,1), e.g. 0.999.
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("metrics: P² quantile %g out of (0,1)", p))
+	}
+	e := &P2Quantile{p: p}
+	e.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+// Add feeds one observation.
+func (e *P2Quantile) Add(d simtime.Duration) {
+	x := float64(d)
+	if e.n < 5 {
+		e.first[e.n] = x
+		e.n++
+		if e.n == 5 {
+			// Sort the first five and initialise markers.
+			f := e.first
+			for i := 1; i < 5; i++ {
+				for j := i; j > 0 && f[j] < f[j-1]; j-- {
+					f[j], f[j-1] = f[j-1], f[j]
+				}
+			}
+			for i := 0; i < 5; i++ {
+				e.q[i] = f[i]
+				e.pos[i] = i + 1
+				e.want[i] = 1 + 4*e.inc[i]
+			}
+		}
+		return
+	}
+	e.n++
+
+	// Find the cell k containing x and update extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.want[i] += e.inc[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - float64(e.pos[i])
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1
+			if d < 0 {
+				s = -1
+			}
+			// Parabolic prediction; fall back to linear if non-monotone.
+			qn := e.parabolic(i, s)
+			if e.q[i-1] < qn && qn < e.q[i+1] {
+				e.q[i] = qn
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+func (e *P2Quantile) parabolic(i, s int) float64 {
+	fs := float64(s)
+	n := [5]float64{float64(e.pos[0]), float64(e.pos[1]), float64(e.pos[2]), float64(e.pos[3]), float64(e.pos[4])}
+	return e.q[i] + fs/(n[i+1]-n[i-1])*
+		((n[i]-n[i-1]+fs)*(e.q[i+1]-e.q[i])/(n[i+1]-n[i])+
+			(n[i+1]-n[i]-fs)*(e.q[i]-e.q[i-1])/(n[i]-n[i-1]))
+}
+
+func (e *P2Quantile) linear(i, s int) float64 {
+	return e.q[i] + float64(s)*(e.q[i+s]-e.q[i])/(float64(e.pos[i+s])-float64(e.pos[i]))
+}
+
+// Count reports the number of observations.
+func (e *P2Quantile) Count() int { return e.n }
+
+// Value reports the current quantile estimate. With fewer than five
+// samples it falls back to the max seen.
+func (e *P2Quantile) Value() simtime.Duration {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		max := e.first[0]
+		for i := 1; i < e.n; i++ {
+			if e.first[i] > max {
+				max = e.first[i]
+			}
+		}
+		return simtime.Duration(max)
+	}
+	return simtime.Duration(e.q[2])
+}

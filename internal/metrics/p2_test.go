@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"rtvirt/internal/sim"
+	"rtvirt/internal/simtime"
+)
+
+func TestP2AgainstExact(t *testing.T) {
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		rng := sim.NewRNG(5)
+		est := NewP2Quantile(q)
+		var exact LatencyRecorder
+		for i := 0; i < 50000; i++ {
+			// Log-normal-ish latencies: exp of a normal.
+			v := simtime.Duration(50e3 * math.Exp(0.5*rng.NormFloat64()))
+			est.Add(v)
+			exact.Add(v)
+		}
+		want := float64(exact.Percentile(q * 100))
+		got := float64(est.Value())
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("q=%g: P² %v vs exact %v (%.1f%% off)", q,
+				simtime.Duration(got), simtime.Duration(want), 100*rel)
+		}
+		if est.Count() != 50000 {
+			t.Fatalf("count = %d", est.Count())
+		}
+	}
+}
+
+func TestP2UniformDistribution(t *testing.T) {
+	rng := sim.NewRNG(9)
+	est := NewP2Quantile(0.95)
+	for i := 0; i < 100000; i++ {
+		est.Add(simtime.Duration(rng.Int63n(1_000_000)))
+	}
+	got := float64(est.Value())
+	if got < 930_000 || got > 970_000 {
+		t.Fatalf("p95 of U[0,1e6) = %v, want ≈950000", got)
+	}
+}
+
+func TestP2SmallSamples(t *testing.T) {
+	est := NewP2Quantile(0.9)
+	if est.Value() != 0 {
+		t.Fatal("empty estimator should report 0")
+	}
+	est.Add(10)
+	est.Add(30)
+	est.Add(20)
+	// Fallback: max of what was seen.
+	if est.Value() != 30 {
+		t.Fatalf("small-sample value = %v, want 30", est.Value())
+	}
+}
+
+func TestP2InvalidQuantilePanics(t *testing.T) {
+	for _, bad := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewP2Quantile(%g) did not panic", bad)
+				}
+			}()
+			NewP2Quantile(bad)
+		}()
+	}
+}
+
+func TestP2Monotone(t *testing.T) {
+	// Feeding a sorted ramp, the estimate must land inside the data range
+	// and near the target.
+	est := NewP2Quantile(0.999)
+	for i := 1; i <= 10000; i++ {
+		est.Add(simtime.Duration(i))
+	}
+	got := float64(est.Value())
+	if got < 9900 || got > 10000 {
+		t.Fatalf("p99.9 of 1..10000 = %v", got)
+	}
+}

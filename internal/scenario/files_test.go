@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedScenarioFiles parses, validates and briefly runs every JSON
+// scenario shipped under examples/scenarios, so the samples in the README
+// cannot rot.
+func TestShippedScenarioFiles(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("scenarios directory: %v", err)
+	}
+	found := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		found++
+		t.Run(e.Name(), func(t *testing.T) {
+			f, err := os.Open(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			sc, err := Parse(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.Seconds = 2 // shorten for the test
+			res, err := Run(sc, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Tasks) == 0 {
+				t.Fatal("scenario ran no tasks")
+			}
+			for _, tr := range res.Tasks {
+				if tr.Kind != "background" && tr.Stats.Released == 0 {
+					t.Errorf("task %s released nothing", tr.Name)
+				}
+			}
+		})
+	}
+	if found < 2 {
+		t.Fatalf("only %d shipped scenarios found", found)
+	}
+}

@@ -1,0 +1,350 @@
+// Package scenario loads and executes user-described simulation scenarios
+// from JSON — the engine behind cmd/rtvirt-sim.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rtvirt/internal/core"
+	"rtvirt/internal/dist"
+	"rtvirt/internal/guest"
+	"rtvirt/internal/hv"
+	"rtvirt/internal/metrics"
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/task"
+	"rtvirt/internal/trace"
+	"rtvirt/internal/workload"
+)
+
+// Scenario is the JSON schema rtvirt-sim executes.
+type Scenario struct {
+	// Stack: rtvirt | rt-xen | two-level-edf | credit (default rtvirt).
+	Stack string `json:"stack"`
+	// PCPUs is the host size (default 1).
+	PCPUs int `json:"pcpus"`
+	// Seconds is the simulated run length (default 10).
+	Seconds int64 `json:"seconds"`
+	// Seed fixes the random streams (default 1).
+	Seed uint64 `json:"seed"`
+	VMs  []VM   `json:"vms"`
+}
+
+// VM describes one guest.
+type VM struct {
+	Name string `json:"name"`
+	// VCPUs is the virtual CPU count (default 1) when Servers is empty.
+	VCPUs int `json:"vcpus"`
+	// Servers gives explicit per-VCPU (budget, period) reservations — the
+	// RT-Xen/two-level configuration style; under Credit they become caps.
+	Servers []ServerSpec `json:"servers"`
+	// Weight is the Credit share weight (default 256).
+	Weight int        `json:"weight"`
+	Tasks  []TaskSpec `json:"tasks"`
+	// MaxVCPUs allows CPU hotplug up to this bound (0 = fixed VCPUs).
+	// Ignored when Servers is given or under the Credit stack.
+	MaxVCPUs int `json:"max_vcpus"`
+	// SlackUS overrides the per-VCPU budget slack in µs (nil = the
+	// stack default, 500µs under RTVirt). Explicit 0 disables slack.
+	SlackUS *int64 `json:"slack_us"`
+	// GuestSched selects the guest process scheduler: "pedf" (default)
+	// or "gedf" (§6's global-EDF alternative).
+	GuestSched string `json:"guest_sched"`
+	// PrioritySlack scales each VCPU's slack by (1 + highest task
+	// priority) — §6's priority-proportional provisioning.
+	PrioritySlack bool `json:"priority_slack"`
+}
+
+// ServerSpec is an explicit (budget, period) VCPU reservation.
+type ServerSpec struct {
+	BudgetUS int64 `json:"budget_us"`
+	PeriodUS int64 `json:"period_us"`
+}
+
+// TaskSpec describes one application.
+type TaskSpec struct {
+	Name string `json:"name"`
+	// Kind: periodic (default) | sporadic | background.
+	Kind     string `json:"kind"`
+	SliceUS  int64  `json:"slice_us"`
+	PeriodUS int64  `json:"period_us"`
+	// PhaseMS delays the first periodic release.
+	PhaseMS int64 `json:"phase_ms"`
+	// RateHz drives sporadic arrivals (default 10).
+	RateHz float64 `json:"rate_hz"`
+	// Priority expresses relative importance (0 = normal); with the VM's
+	// priority_slack it buys proportionally more budget headroom.
+	Priority int `json:"priority"`
+}
+
+// TaskResult is one task's outcome.
+type TaskResult struct {
+	VM        string
+	Name      string
+	Kind      string
+	Stats     task.Stats
+	MissRatio float64
+	// Latency holds response times for sporadic tasks.
+	Latency *metrics.LatencyRecorder
+}
+
+// Result is a completed scenario run.
+type Result struct {
+	Stack       core.Stack
+	PCPUs       int
+	Seconds     int64
+	AllocatedBW float64
+	Tasks       []TaskResult
+	Overhead    core.OverheadReport
+	// Trace holds the schedule trace when requested.
+	Trace *trace.Recorder
+}
+
+// Parse decodes a scenario from JSON.
+func Parse(r io.Reader) (Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
+	return sc, nil
+}
+
+// StackFor resolves a stack name.
+func StackFor(name string) (core.Stack, error) {
+	switch name {
+	case "", "rtvirt":
+		return core.RTVirt, nil
+	case "rt-xen", "rtxen":
+		return core.RTXen, nil
+	case "two-level-edf", "edf":
+		return core.TwoLevelEDF, nil
+	case "credit":
+		return core.Credit, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown stack %q", name)
+	}
+}
+
+// Validate performs structural checks beyond JSON decoding.
+func (sc Scenario) Validate() error {
+	if _, err := StackFor(sc.Stack); err != nil {
+		return err
+	}
+	if len(sc.VMs) == 0 {
+		return fmt.Errorf("scenario: no VMs")
+	}
+	for _, vm := range sc.VMs {
+		if vm.Name == "" {
+			return fmt.Errorf("scenario: VM without a name")
+		}
+		switch vm.GuestSched {
+		case "", "pedf", "gedf":
+		default:
+			return fmt.Errorf("scenario: VM %q has unknown guest_sched %q", vm.Name, vm.GuestSched)
+		}
+		if vm.SlackUS != nil && *vm.SlackUS < 0 {
+			return fmt.Errorf("scenario: VM %q has negative slack_us", vm.Name)
+		}
+		if vm.MaxVCPUs != 0 && vm.MaxVCPUs < vm.VCPUs {
+			return fmt.Errorf("scenario: VM %q max_vcpus %d below vcpus %d",
+				vm.Name, vm.MaxVCPUs, vm.VCPUs)
+		}
+		for _, ts := range vm.Tasks {
+			if ts.Priority < 0 {
+				return fmt.Errorf("scenario: task %q has negative priority", ts.Name)
+			}
+			switch ts.Kind {
+			case "", "periodic", "sporadic":
+				if ts.SliceUS <= 0 || ts.PeriodUS <= 0 || ts.SliceUS > ts.PeriodUS {
+					return fmt.Errorf("scenario: task %q has invalid (slice=%dµs, period=%dµs)",
+						ts.Name, ts.SliceUS, ts.PeriodUS)
+				}
+			case "background":
+			default:
+				return fmt.Errorf("scenario: task %q has unknown kind %q", ts.Name, ts.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+// Options tunes Run.
+type Options struct {
+	// Trace records the schedule (capped at TraceMax records).
+	Trace    bool
+	TraceMax int
+}
+
+// Run executes the scenario and returns its results.
+func Run(sc Scenario, opts Options) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	stack, _ := StackFor(sc.Stack)
+	cfg := core.DefaultConfig(stack)
+	if sc.PCPUs > 0 {
+		cfg.PCPUs = sc.PCPUs
+	} else {
+		cfg.PCPUs = 1
+	}
+	if sc.Seed != 0 {
+		cfg.Seed = sc.Seed
+	}
+	sys := core.NewSystem(cfg)
+
+	var rec *trace.Recorder
+	if opts.Trace {
+		max := opts.TraceMax
+		if max == 0 {
+			max = 1 << 20
+		}
+		rec = &trace.Recorder{Max: max}
+		sys.Host.SetTracer(trace.NewHostTracer(rec))
+	}
+
+	type bound struct {
+		spec  TaskSpec
+		vm    string
+		task  *task.Task
+		guest *guest.OS
+		lat   *metrics.LatencyRecorder
+	}
+	var all []bound
+	id := 0
+	for _, vmSpec := range sc.VMs {
+		g, err := makeGuest(sys, stack, vmSpec)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: vm %q: %w", vmSpec.Name, err)
+		}
+		for _, ts := range vmSpec.Tasks {
+			tk, err := makeTask(g, id, ts)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: vm %q task %q: %w", vmSpec.Name, ts.Name, err)
+			}
+			id++
+			all = append(all, bound{spec: ts, vm: vmSpec.Name, task: tk, guest: g})
+		}
+	}
+
+	seconds := sc.Seconds
+	if seconds <= 0 {
+		seconds = 10
+	}
+	sys.Start()
+	for i := range all {
+		b := &all[i]
+		switch b.spec.Kind {
+		case "periodic", "":
+			b.guest.StartPeriodic(b.task,
+				simtime.Time(simtime.Millis(b.spec.PhaseMS)))
+		case "sporadic":
+			rate := b.spec.RateHz
+			if rate <= 0 {
+				rate = 10
+			}
+			mean := simtime.Duration(float64(simtime.Second) / rate)
+			client := workload.NewSporadicClientFor(b.guest, b.task,
+				dist.Normal{MeanD: mean, Stddev: mean / 4, Min: simtime.Micros(100)},
+				int(seconds)*int(rate)+16)
+			b.lat = &client.Latency
+			client.Start(0)
+		case "background":
+			g, tk := b.guest, b.task
+			sys.Sim.At(0, func(now simtime.Time) {
+				g.ReleaseJob(tk, simtime.Duration(1<<60))
+			})
+		}
+	}
+
+	sys.Run(simtime.Duration(seconds) * simtime.Second)
+	sys.Host.Sync()
+
+	res := &Result{
+		Stack:       stack,
+		PCPUs:       cfg.PCPUs,
+		Seconds:     seconds,
+		AllocatedBW: sys.AllocatedBandwidth(),
+		Overhead:    sys.Overhead(),
+		Trace:       rec,
+	}
+	for _, b := range all {
+		kind := b.spec.Kind
+		if kind == "" {
+			kind = "periodic"
+		}
+		st := b.task.Stats()
+		res.Tasks = append(res.Tasks, TaskResult{
+			VM:        b.vm,
+			Name:      b.task.Name,
+			Kind:      kind,
+			Stats:     st,
+			MissRatio: st.MissRatio(),
+			Latency:   b.lat,
+		})
+	}
+	return res, nil
+}
+
+func makeGuest(sys *core.System, stack core.Stack, vm VM) (*guest.OS, error) {
+	if len(vm.Servers) > 0 {
+		var rsv []hv.Reservation
+		for _, s := range vm.Servers {
+			rsv = append(rsv, hv.Reservation{
+				Budget: simtime.Micros(s.BudgetUS),
+				Period: simtime.Micros(s.PeriodUS),
+			})
+		}
+		w := vm.Weight
+		if w == 0 {
+			w = 256
+		}
+		return sys.NewServerGuest(vm.Name, rsv, w)
+	}
+	vcpus := vm.VCPUs
+	if vcpus == 0 {
+		vcpus = 1
+	}
+	if stack == core.Credit {
+		w := vm.Weight
+		if w == 0 {
+			w = 256
+		}
+		return sys.NewWeightedGuest(vm.Name, vcpus, w)
+	}
+	opts := core.GuestOpts{
+		VCPUs:         vcpus,
+		MaxVCPUs:      vm.MaxVCPUs,
+		GEDF:          vm.GuestSched == "gedf",
+		PrioritySlack: vm.PrioritySlack,
+	}
+	if vm.SlackUS != nil {
+		s := simtime.Micros(*vm.SlackUS)
+		opts.Slack = &s
+	}
+	return sys.NewGuestOpts(vm.Name, opts)
+}
+
+func makeTask(g *guest.OS, id int, ts TaskSpec) (*task.Task, error) {
+	switch ts.Kind {
+	case "background":
+		t := task.NewBackground(id, ts.Name)
+		return t, g.Register(t)
+	case "sporadic":
+		t := task.New(id, ts.Name, task.Sporadic, task.Params{
+			Slice:  simtime.Micros(ts.SliceUS),
+			Period: simtime.Micros(ts.PeriodUS),
+		})
+		t.Priority = ts.Priority
+		return t, g.Register(t)
+	default:
+		t := task.New(id, ts.Name, task.Periodic, task.Params{
+			Slice:  simtime.Micros(ts.SliceUS),
+			Period: simtime.Micros(ts.PeriodUS),
+		})
+		t.Priority = ts.Priority
+		return t, g.Register(t)
+	}
+}

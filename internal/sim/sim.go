@@ -1,0 +1,109 @@
+// Package sim provides the discrete-event simulation kernel: a clock, a
+// pending-event queue, and a deterministic random number source.
+//
+// All of the virtualized-host machinery (internal/hv, internal/guest, the
+// schedulers, the workloads) runs on top of a single Simulator. The kernel
+// is strictly single-threaded: callbacks run one at a time in global time
+// order, so no package above this one needs locks.
+package sim
+
+import (
+	"fmt"
+
+	"rtvirt/internal/eventq"
+	"rtvirt/internal/simtime"
+)
+
+// Simulator is a discrete-event simulation engine. Create one with New.
+type Simulator struct {
+	now    simtime.Time
+	q      eventq.Queue
+	rng    *RNG
+	fired  uint64
+	inStep bool
+}
+
+// New returns a Simulator whose clock starts at 0 and whose random source
+// is seeded with seed (same seed ⇒ identical run).
+func New(seed uint64) *Simulator {
+	return &Simulator{rng: NewRNG(seed)}
+}
+
+// Now reports the current simulated time.
+func (s *Simulator) Now() simtime.Time { return s.now }
+
+// RNG returns the simulator's deterministic random source.
+func (s *Simulator) RNG() *RNG { return s.rng }
+
+// EventsFired reports how many events have executed so far.
+func (s *Simulator) EventsFired() uint64 { return s.fired }
+
+// Pending reports the number of events waiting to run.
+func (s *Simulator) Pending() int { return s.q.Len() }
+
+// At schedules fn to run at the absolute instant at. Scheduling in the past
+// panics: that is always a logic error in a discrete-event model.
+func (s *Simulator) At(at simtime.Time, fn func(now simtime.Time)) *eventq.Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	return s.q.Schedule(at, fn)
+}
+
+// After schedules fn to run d from now.
+func (s *Simulator) After(d simtime.Duration, fn func(now simtime.Time)) *eventq.Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling event %v in the past", d))
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Safe on nil and already-fired events.
+func (s *Simulator) Cancel(e *eventq.Event) { s.q.Cancel(e) }
+
+// Step fires the single earliest pending event, advancing the clock to its
+// scheduled time. It reports false when no events remain.
+func (s *Simulator) Step() bool {
+	next := s.q.PeekTime()
+	if next == simtime.Never {
+		return false
+	}
+	if next < s.now {
+		panic("sim: event queue went backwards")
+	}
+	s.now = next
+	s.inStep = true
+	s.q.Fire()
+	s.inStep = false
+	s.fired++
+	return true
+}
+
+// RunUntil fires events in order until the clock would pass end, leaving
+// the clock at exactly end. Events scheduled at exactly end do run.
+func (s *Simulator) RunUntil(end simtime.Time) {
+	for {
+		next := s.q.PeekTime()
+		if next == simtime.Never || next > end {
+			break
+		}
+		s.Step()
+	}
+	if end > s.now && end != simtime.Never {
+		s.now = end
+	}
+}
+
+// RunFor advances the simulation by d.
+func (s *Simulator) RunFor(d simtime.Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Drain fires every remaining event. maxEvents bounds runaway simulations;
+// it panics if exceeded.
+func (s *Simulator) Drain(maxEvents uint64) {
+	start := s.fired
+	for s.Step() {
+		if s.fired-start > maxEvents {
+			panic("sim: Drain exceeded event budget (runaway simulation?)")
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"rtvirt/internal/hv"
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/task"
+)
+
+// HostTracer adapts a Recorder to the hv.Tracer interface:
+//
+//	rec := &trace.Recorder{Max: 100000}
+//	host.SetTracer(trace.NewHostTracer(rec))
+type HostTracer struct {
+	R *Recorder
+}
+
+// NewHostTracer wraps rec as an hv.Tracer.
+func NewHostTracer(rec *Recorder) *HostTracer { return &HostTracer{R: rec} }
+
+var _ hv.Tracer = (*HostTracer)(nil)
+
+// TraceDispatch implements hv.Tracer.
+func (t *HostTracer) TraceDispatch(p *hv.PCPU, v *hv.VCPU, now simtime.Time) {
+	rec := Record{At: now, Kind: Dispatch, PCPU: p.ID}
+	if v != nil {
+		rec.VM = v.VM.Name
+		rec.VCPU = v.Index
+	}
+	t.R.Add(rec)
+}
+
+// TraceJobDone implements hv.Tracer.
+func (t *HostTracer) TraceJobDone(v *hv.VCPU, j *task.Job, now simtime.Time) {
+	kind := JobDone
+	var late simtime.Duration
+	if j.Deadline != simtime.Never && j.Finish > j.Deadline {
+		kind = JobMiss
+		late = j.Finish.Sub(j.Deadline)
+	}
+	t.R.Add(Record{
+		At:   now,
+		Kind: kind,
+		PCPU: pcpuOf(v),
+		VM:   v.VM.Name,
+		VCPU: v.Index,
+		Task: j.Task.Name,
+		Late: late,
+	})
+}
+
+func pcpuOf(v *hv.VCPU) int {
+	if p := v.OnPCPU(); p != nil {
+		return p.ID
+	}
+	return -1
+}

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rtvirt/internal/simtime"
+)
+
+func TestWriteSVG(t *testing.T) {
+	var r Recorder
+	r.Add(Record{At: 0, Kind: Dispatch, PCPU: 0, VM: "vmA"})
+	r.Add(Record{At: simtime.Time(ms(5)), Kind: Dispatch, PCPU: 0, VM: "vmB"})
+	r.Add(Record{At: simtime.Time(ms(6)), Kind: JobMiss, PCPU: 0, Task: "late", Late: simtime.Micros(50)})
+	r.Add(Record{At: simtime.Time(ms(8)), Kind: Dispatch, PCPU: 1, VM: "vmA"})
+	var buf bytes.Buffer
+	if err := r.WriteSVG(&buf, 2, 0, simtime.Time(ms(10))); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, want := range []string{"<svg", "pcpu0", "pcpu1", "vmA", "vmB", "miss: late", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	// Invalid windows are rejected.
+	if err := r.WriteSVG(&buf, 2, 10, 10); err == nil {
+		t.Fatal("degenerate window accepted")
+	}
+	if err := r.WriteSVG(&buf, 0, 0, 10); err == nil {
+		t.Fatal("zero pcpus accepted")
+	}
+}
+
+// End-to-end: an actual run's trace renders valid SVG with boxes.
+func TestWriteSVGEndToEnd(t *testing.T) {
+	rec := runTracedScenario(t)
+	var buf bytes.Buffer
+	if err := rec.WriteSVG(&buf, 1, 0, simtime.Time(simtime.Millis(100))); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "<rect") < 10 {
+		t.Fatalf("svg has too few boxes:\n%.300s", buf.String())
+	}
+}

@@ -1,0 +1,143 @@
+// Package trace records scheduling events — dispatches, preemptions, job
+// completions — so a run can be inspected offline or rendered as a
+// Gantt-style timeline (the raw material of the paper's Figure 1).
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"rtvirt/internal/simtime"
+)
+
+// Kind classifies a trace record.
+type Kind string
+
+// Record kinds.
+const (
+	// Dispatch: a VCPU started running on a PCPU (VCPU empty = idle).
+	Dispatch Kind = "dispatch"
+	// JobDone: a job finished on a VCPU.
+	JobDone Kind = "job-done"
+	// JobMiss: a job finished after its deadline.
+	JobMiss Kind = "job-miss"
+)
+
+// Record is one scheduling event.
+type Record struct {
+	At   simtime.Time `json:"at_ns"`
+	Kind Kind         `json:"kind"`
+	PCPU int          `json:"pcpu"`
+	VM   string       `json:"vm,omitempty"`
+	VCPU int          `json:"vcpu,omitempty"`
+	Task string       `json:"task,omitempty"`
+	// Late is the lateness of a missed job.
+	Late simtime.Duration `json:"late_ns,omitempty"`
+}
+
+// Recorder accumulates records up to a configurable cap. The zero value is
+// ready to use with an unbounded buffer.
+type Recorder struct {
+	// Max bounds the number of retained records (0 = unbounded). When
+	// full, further records are counted but dropped.
+	Max int
+
+	records []Record
+	dropped int
+}
+
+// Add appends a record, honouring the cap.
+func (r *Recorder) Add(rec Record) {
+	if r.Max > 0 && len(r.records) >= r.Max {
+		r.dropped++
+		return
+	}
+	r.records = append(r.records, rec)
+}
+
+// Records returns the retained records in order.
+func (r *Recorder) Records() []Record { return r.records }
+
+// Dropped reports how many records the cap discarded.
+func (r *Recorder) Dropped() int { return r.dropped }
+
+// Len reports the number of retained records.
+func (r *Recorder) Len() int { return len(r.records) }
+
+// WriteCSV emits the trace as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at_us", "kind", "pcpu", "vm", "vcpu", "task", "late_us"}); err != nil {
+		return err
+	}
+	for _, rec := range r.records {
+		row := []string{
+			strconv.FormatFloat(rec.At.Micros(), 'f', 3, 64),
+			string(rec.Kind),
+			strconv.Itoa(rec.PCPU),
+			rec.VM,
+			strconv.Itoa(rec.VCPU),
+			rec.Task,
+			strconv.FormatFloat(rec.Late.Micros(), 'f', 3, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the trace as a JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r.records)
+}
+
+// Timeline renders a coarse textual Gantt chart of PCPU occupancy between
+// from and to, with one row per bucket — handy for eyeballing schedules in
+// tests and examples.
+func (r *Recorder) Timeline(pcpus int, from, to simtime.Time, buckets int) string {
+	if buckets <= 0 || to <= from {
+		return ""
+	}
+	// occupant[pcpu][bucket] = VM name observed last in the bucket.
+	occ := make([][]string, pcpus)
+	for i := range occ {
+		occ[i] = make([]string, buckets)
+	}
+	span := to.Sub(from)
+	cur := make([]string, pcpus)
+	idx := 0
+	for b := 0; b < buckets; b++ {
+		bucketEnd := from.Add(simtime.ScaleDuration(span, int64(b+1), int64(buckets)))
+		for idx < len(r.records) && r.records[idx].At < bucketEnd {
+			rec := r.records[idx]
+			if rec.Kind == Dispatch && rec.PCPU >= 0 && rec.PCPU < pcpus {
+				cur[rec.PCPU] = rec.VM
+			}
+			idx++
+		}
+		for p := 0; p < pcpus; p++ {
+			occ[p][b] = cur[p]
+		}
+	}
+	out := ""
+	for p := 0; p < pcpus; p++ {
+		out += fmt.Sprintf("pcpu%-2d |", p)
+		for b := 0; b < buckets; b++ {
+			name := occ[p][b]
+			switch {
+			case name == "":
+				out += "."
+			default:
+				out += string(name[len(name)-1])
+			}
+		}
+		out += "|\n"
+	}
+	return out
+}

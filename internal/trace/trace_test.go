@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rtvirt/internal/guest"
+	"rtvirt/internal/hv"
+	"rtvirt/internal/sched/dpwrap"
+	"rtvirt/internal/sim"
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/task"
+)
+
+func ms(n int64) simtime.Duration { return simtime.Millis(n) }
+
+func TestRecorderCap(t *testing.T) {
+	r := Recorder{Max: 2}
+	for i := 0; i < 5; i++ {
+		r.Add(Record{At: simtime.Time(i), Kind: Dispatch})
+	}
+	if r.Len() != 2 || r.Dropped() != 3 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var r Recorder
+	r.Add(Record{At: simtime.Time(ms(1)), Kind: Dispatch, PCPU: 0, VM: "vm0", VCPU: 0})
+	r.Add(Record{At: simtime.Time(ms(2)), Kind: JobMiss, PCPU: 1, VM: "vm1", Task: "t", Late: simtime.Micros(5)})
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("csv rows = %d, want header + 2", len(rows))
+	}
+	if rows[2][1] != "job-miss" || rows[2][6] != "5.000" {
+		t.Fatalf("csv content wrong: %v", rows[2])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var r Recorder
+	r.Add(Record{At: simtime.Time(ms(1)), Kind: JobDone, VM: "vm0", Task: "x"})
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Task != "x" {
+		t.Fatalf("json round-trip wrong: %+v", got)
+	}
+}
+
+// runTracedScenario drives a small RTVirt run with tracing for tests.
+func runTracedScenario(t *testing.T) *Recorder {
+	t.Helper()
+	s := sim.New(3)
+	h := hv.NewHost(s, 1, dpwrap.New(dpwrap.DefaultConfig()), hv.CostModel{})
+	rec := &Recorder{}
+	h.SetTracer(NewHostTracer(rec))
+	g, err := guest.NewOS(h, "vm0", guest.DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk := task.New(0, "rta", task.Periodic, task.Params{Slice: ms(2), Period: ms(10)})
+	if err := g.Register(tk); err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	g.StartPeriodic(tk, 0)
+	s.RunFor(simtime.Seconds(1))
+	return rec
+}
+
+// End-to-end: trace a real RTVirt run and check dispatches and completions
+// are recorded in time order.
+func TestHostTracerEndToEnd(t *testing.T) {
+	rec := runTracedScenario(t)
+
+	var dispatches, done, miss int
+	var prev simtime.Time
+	for _, r := range rec.Records() {
+		if r.At < prev {
+			t.Fatal("records out of order")
+		}
+		prev = r.At
+		switch r.Kind {
+		case Dispatch:
+			dispatches++
+		case JobDone:
+			done++
+			if r.Task != "rta" || r.VM != "vm0" {
+				t.Fatalf("bad completion record: %+v", r)
+			}
+		case JobMiss:
+			miss++
+		}
+	}
+	if done != 100 {
+		t.Fatalf("completions recorded = %d, want 100", done)
+	}
+	if miss != 0 {
+		t.Fatalf("misses recorded = %d", miss)
+	}
+	if dispatches < 100 {
+		t.Fatalf("dispatches recorded = %d, want ≥100", dispatches)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	var r Recorder
+	r.Add(Record{At: 0, Kind: Dispatch, PCPU: 0, VM: "vmA"})
+	r.Add(Record{At: simtime.Time(ms(5)), Kind: Dispatch, PCPU: 0, VM: "vmB"})
+	out := r.Timeline(1, 0, simtime.Time(ms(10)), 10)
+	if !strings.Contains(out, "pcpu0") {
+		t.Fatalf("timeline missing pcpu row:\n%s", out)
+	}
+	// First half occupied by vmA ('A'), second by vmB ('B').
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatalf("timeline content wrong:\n%s", out)
+	}
+	if r.Timeline(1, 0, 0, 10) != "" || r.Timeline(1, 0, 1, 0) != "" {
+		t.Fatal("degenerate timeline should be empty")
+	}
+}
