@@ -21,6 +21,7 @@ import (
 
 	"rtvirt"
 	"rtvirt/internal/report"
+	"rtvirt/internal/runner"
 )
 
 // out is the optional artifact directory (-out flag); nil disables export.
@@ -28,13 +29,15 @@ var out *report.Dir
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which experiment to run (fig1, table1, table2, fig3, sporadic, table3, fig4, table4, fig5a, fig5b, table5, table6, ablations, all)")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		seconds = flag.Int64("seconds", 0, "override run length in simulated seconds (0 = per-experiment default)")
-		outDir  = flag.String("out", "", "write machine-readable artifacts (CSV/JSON) to this directory")
-		runs    = flag.Int("runs", 5, "seeds for -experiment robustness")
+		exp      = flag.String("experiment", "all", "which experiment to run (fig1, table1, table2, fig3, sporadic, table3, fig4, table4, fig5a, fig5b, table5, table6, ablations, all)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		seconds  = flag.Int64("seconds", 0, "override run length in simulated seconds (0 = per-experiment default)")
+		outDir   = flag.String("out", "", "write machine-readable artifacts (CSV/JSON) to this directory")
+		runs     = flag.Int("runs", 5, "seeds for -experiment robustness")
+		parallel = flag.Int("parallel", 0, "workers for independent simulations (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 	)
 	flag.Parse()
+	runner.SetDefault(*parallel)
 	if *outDir != "" {
 		d, err := report.NewDir(*outDir)
 		if err != nil {

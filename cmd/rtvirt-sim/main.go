@@ -34,6 +34,7 @@
 //
 //	rtvirt-sim scenario.json
 //	rtvirt-sim -trace-csv schedule.csv scenario.json
+//	rtvirt-sim -parallel 4 a.json b.json c.json   # independent runs, output in arg order
 package main
 
 import (
@@ -42,6 +43,7 @@ import (
 	"log"
 	"os"
 
+	"rtvirt/internal/runner"
 	"rtvirt/internal/scenario"
 	"rtvirt/internal/simtime"
 	"rtvirt/internal/trace"
@@ -54,47 +56,48 @@ func main() {
 		traceSVG  = flag.String("trace-svg", "", "render the schedule as an SVG Gantt chart to this file")
 		svgWindow = flag.Int64("svg-ms", 100, "SVG window length in simulated milliseconds")
 		summary   = flag.Bool("summary", false, "print a per-VCPU/per-PCPU schedule digest")
+		parallel  = flag.Int("parallel", 0, "workers when running multiple scenarios (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rtvirt-sim [flags] <scenario.json>")
+	runner.SetDefault(*parallel)
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: rtvirt-sim [flags] <scenario.json> [more scenarios...]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		log.Fatal(err)
-	}
-	sc, err := scenario.Parse(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
+	tracing := *traceCSV != "" || *traceJSON != "" || *traceSVG != "" || *summary
+	if flag.NArg() > 1 {
+		if tracing {
+			log.Fatal("trace/summary flags require a single scenario")
+		}
+		// Each scenario is an independent simulation: fan out over the
+		// runner and print results in argument order.
+		type outcome struct {
+			res *scenario.Result
+			err error
+		}
+		results := runner.Map(0, flag.Args(), func(path string) outcome {
+			res, err := runScenario(path, scenario.Options{})
+			return outcome{res, err}
+		})
+		for i, o := range results {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("==== %s ====\n", flag.Arg(i))
+			if o.err != nil {
+				log.Fatal(o.err)
+			}
+			report(o.res)
+		}
+		return
 	}
 
-	opts := scenario.Options{Trace: *traceCSV != "" || *traceJSON != "" || *traceSVG != "" || *summary}
-	res, err := scenario.Run(sc, opts)
+	res, err := runScenario(flag.Arg(0), scenario.Options{Trace: tracing})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	fmt.Printf("ran %ds on %d PCPUs under %v\n", res.Seconds, res.PCPUs, res.Stack)
-	fmt.Printf("reserved bandwidth: %.2f CPUs\n\n", res.AllocatedBW)
-	for _, tr := range res.Tasks {
-		s := tr.Stats
-		if tr.Kind == "background" {
-			fmt.Printf("%-14s %-12s background, consumed %v CPU time\n", tr.VM, tr.Name, s.TotalWork)
-			continue
-		}
-		fmt.Printf("%-14s %-12s released=%5d completed=%5d missed=%4d (%.3f%%) mean-resp=%v",
-			tr.VM, tr.Name, s.Released, s.Completed, s.Missed, 100*tr.MissRatio, s.MeanResp())
-		if tr.Latency != nil && tr.Latency.Count() > 0 {
-			fmt.Printf(" p99.9=%v", tr.Latency.Percentile(99.9))
-		}
-		fmt.Println()
-	}
-	ov := res.Overhead
-	fmt.Printf("\nscheduler overhead: %.3f%% (schedule %v, context switches %v, %d migrations, %d hypercalls)\n",
-		ov.Percent, ov.ScheduleTime, ov.CtxSwitchTime, ov.Migrations, ov.Hypercalls)
+	report(res)
 
 	if res.Trace != nil {
 		if *summary {
@@ -132,6 +135,42 @@ func main() {
 			fmt.Printf("note: %d trace records dropped (cap)\n", res.Trace.Dropped())
 		}
 	}
+}
+
+// runScenario parses and executes one scenario file.
+func runScenario(path string, opts scenario.Options) (*scenario.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := scenario.Parse(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	return scenario.Run(sc, opts)
+}
+
+// report prints the per-task timeliness summary for one run.
+func report(res *scenario.Result) {
+	fmt.Printf("ran %ds on %d PCPUs under %v\n", res.Seconds, res.PCPUs, res.Stack)
+	fmt.Printf("reserved bandwidth: %.2f CPUs\n\n", res.AllocatedBW)
+	for _, tr := range res.Tasks {
+		s := tr.Stats
+		if tr.Kind == "background" {
+			fmt.Printf("%-14s %-12s background, consumed %v CPU time\n", tr.VM, tr.Name, s.TotalWork)
+			continue
+		}
+		fmt.Printf("%-14s %-12s released=%5d completed=%5d missed=%4d (%.3f%%) mean-resp=%v",
+			tr.VM, tr.Name, s.Released, s.Completed, s.Missed, 100*tr.MissRatio, s.MeanResp())
+		if tr.Latency != nil && tr.Latency.Count() > 0 {
+			fmt.Printf(" p99.9=%v", tr.Latency.Percentile(99.9))
+		}
+		fmt.Println()
+	}
+	ov := res.Overhead
+	fmt.Printf("\nscheduler overhead: %.3f%% (schedule %v, context switches %v, %d migrations, %d hypercalls)\n",
+		ov.Percent, ov.ScheduleTime, ov.CtxSwitchTime, ov.Migrations, ov.Hypercalls)
 }
 
 func writeTrace(path string, res *scenario.Result, csv bool) error {

@@ -1,0 +1,44 @@
+package cluster
+
+import "rtvirt/internal/runner"
+
+// SweepSpec is one independent cluster experiment: a configuration plus a
+// driver that builds out, exercises, and measures its own Cluster.
+type SweepSpec struct {
+	Name string
+	Cfg  Config
+	// Run receives a freshly constructed (not yet Started) cluster and
+	// returns whatever the experiment measures.
+	Run func(c *Cluster) any
+}
+
+// SweepResult pairs a spec's name with its driver's return value.
+type SweepResult struct {
+	Name  string
+	Value any
+}
+
+// Sweep executes the specs on parallel workers (parallel <= 0 uses
+// runner.Default()). Each spec gets its own Cluster via New(s.Cfg); every
+// cluster owns its simulated clock and RNG, so specs share no mutable
+// state and results are identical at any worker count. Results come back
+// in spec order. Note the isolation boundary is the whole cluster: hosts
+// within one cluster share a clock and must not be split across workers.
+func Sweep(parallel int, specs []SweepSpec) []SweepResult {
+	return runner.Map(parallel, specs, func(s SweepSpec) SweepResult {
+		return SweepResult{Name: s.Name, Value: s.Run(New(s.Cfg))}
+	})
+}
+
+// ComparePolicies runs the same scenario once per placement policy on
+// parallel workers, returning results in FirstFit, BestFit, WorstFit
+// order. cfg.Policy is overridden per spec.
+func ComparePolicies(parallel int, cfg Config, run func(c *Cluster) any) []SweepResult {
+	var specs []SweepSpec
+	for _, p := range []Policy{FirstFit, BestFit, WorstFit} {
+		c := cfg
+		c.Policy = p
+		specs = append(specs, SweepSpec{Name: p.String(), Cfg: c, Run: run})
+	}
+	return Sweep(parallel, specs)
+}

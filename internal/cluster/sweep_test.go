@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"rtvirt/internal/simtime"
+)
+
+// sweepDriver places two VMs, runs the cluster, and returns the per-VM
+// miss counts plus which host each landed on — enough state to expose any
+// cross-worker contamination.
+func sweepDriver(c *Cluster) any {
+	var r sweepOutcome
+	for i, spec := range []VMSpec{vmSpec("a", 20, 40), vmSpec("b", 12, 40)} {
+		d, err := c.Place(spec)
+		if err != nil {
+			panic(err)
+		}
+		r.Hosts[i] = d.Host.Name
+	}
+	c.Start()
+	c.Run(2 * simtime.Second)
+	for i, name := range []string{"a", "b"} {
+		d, _ := c.Lookup(name)
+		for _, tk := range d.Tasks() {
+			r.Missed[i] += tk.Stats().Missed
+		}
+	}
+	return r
+}
+
+type sweepOutcome struct {
+	Hosts  [2]string
+	Missed [2]int
+}
+
+func sweepSpecs() []SweepSpec {
+	var specs []SweepSpec
+	for _, p := range []Policy{FirstFit, BestFit, WorstFit} {
+		cfg := DefaultConfig()
+		cfg.Policy = p
+		specs = append(specs, SweepSpec{Name: p.String(), Cfg: cfg, Run: sweepDriver})
+	}
+	return specs
+}
+
+// TestSweepParallelDeterminism runs the same specs sequentially and on
+// eight workers: every cluster owns its clock, so results must match
+// exactly and arrive in spec order.
+func TestSweepParallelDeterminism(t *testing.T) {
+	seq := Sweep(1, sweepSpecs())
+	par := Sweep(8, sweepSpecs())
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("Sweep differs between 1 and 8 workers:\nseq: %#v\npar: %#v", seq, par)
+	}
+	for i, want := range []string{"first-fit", "best-fit", "worst-fit"} {
+		if seq[i].Name != want {
+			t.Fatalf("result %d = %q, want %q (input order must be preserved)", i, seq[i].Name, want)
+		}
+	}
+}
+
+// TestComparePolicies checks the convenience wrapper covers every policy
+// in declaration order and actually varies the placement.
+func TestComparePolicies(t *testing.T) {
+	res := ComparePolicies(0, DefaultConfig(), sweepDriver)
+	if len(res) != 3 {
+		t.Fatalf("got %d results, want 3", len(res))
+	}
+	names := []string{res[0].Name, res[1].Name, res[2].Name}
+	if names[0] != "first-fit" || names[1] != "best-fit" || names[2] != "worst-fit" {
+		t.Fatalf("policy order = %v", names)
+	}
+	// Worst-fit spreads where first-fit consolidates (cf. TestPlacementPolicies).
+	ff := res[0].Value.(sweepOutcome)
+	wf := res[2].Value.(sweepOutcome)
+	if ff.Hosts[0] != ff.Hosts[1] {
+		t.Errorf("first-fit split the VMs across hosts: %v", ff.Hosts)
+	}
+	if wf.Hosts[0] == wf.Hosts[1] {
+		t.Errorf("worst-fit consolidated the VMs: %v", wf.Hosts)
+	}
+}

@@ -4,6 +4,15 @@
 // Events fire in non-decreasing time order; events scheduled for the same
 // instant fire in FIFO order of insertion so that simulation runs are fully
 // deterministic.
+//
+// Event records are pooled on a per-queue free list and reused across
+// Schedule calls, so the steady-state hot path (schedule → fire →
+// reschedule) allocates nothing. Cancellation is lazy: Cancel marks the
+// event as a tombstone and leaves it in the heap; tombstones are discarded
+// when they surface at the top (PeekTime/Fire) or when a compaction pass
+// rebuilds the heap. Because records are recycled, callers hold a
+// generation-checked Handle rather than a raw pointer — a Handle to an
+// event that has fired, been cancelled, or been reused is simply inert.
 package eventq
 
 import (
@@ -12,88 +21,157 @@ import (
 	"rtvirt/internal/simtime"
 )
 
-// Event is a scheduled callback. A nil *Event is safe to Cancel.
+const (
+	statePending   byte = iota // queued, will fire
+	stateTombstone             // cancelled, still occupying a heap slot
+	stateFree                  // recycled onto the free list
+)
+
+// Event is the pooled internal record for one scheduled callback. Callers
+// never hold an *Event directly; they hold a Handle.
 type Event struct {
-	at     simtime.Time
-	seq    uint64 // insertion order tiebreak
-	index  int    // heap index, -1 when not queued
-	fn     func(now simtime.Time)
-	cancel bool
+	at    simtime.Time
+	seq   uint64 // insertion order tiebreak
+	gen   uint64 // bumped on every recycle; validates Handles
+	fn    func(now simtime.Time)
+	state byte
 }
 
-// At reports the instant the event is scheduled for.
-func (e *Event) At() simtime.Time { return e.at }
+// Handle identifies one scheduled event. The zero Handle is valid and
+// inert: Active reports false and Cancel is a no-op. A Handle goes inert
+// the moment its event fires or is cancelled — even if the underlying
+// record is later reused for an unrelated event, the generation check
+// keeps the old Handle from touching it.
+type Handle struct {
+	e   *Event
+	gen uint64
+}
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e == nil || e.cancel }
+// Active reports whether the event is still queued and will fire.
+func (h Handle) Active() bool {
+	return h.e != nil && h.e.gen == h.gen && h.e.state == statePending
+}
+
+// At reports the instant the event is scheduled for, or simtime.Never if
+// the Handle is no longer active.
+func (h Handle) At() simtime.Time {
+	if !h.Active() {
+		return simtime.Never
+	}
+	return h.e.at
+}
 
 // Queue is a time-ordered queue of events. The zero value is ready to use.
+// A Queue (like the simulator it drives) is single-threaded; concurrent
+// simulation runs each own their own Queue.
 type Queue struct {
-	h   eventHeap
-	seq uint64
-	len int // live (non-cancelled) events
+	h    eventHeap
+	free []*Event // recycled records, bounded by peak live events
+	seq  uint64
+	live int // pending (non-tombstone) events
 }
 
 // Len reports the number of live events in the queue.
-func (q *Queue) Len() int { return q.len }
+func (q *Queue) Len() int { return q.live }
 
-// Schedule enqueues fn to run at instant at and returns a handle that can
+// Schedule enqueues fn to run at instant at and returns a Handle that can
 // be used to cancel it.
-func (q *Queue) Schedule(at simtime.Time, fn func(now simtime.Time)) *Event {
+func (q *Queue) Schedule(at simtime.Time, fn func(now simtime.Time)) Handle {
 	if fn == nil {
 		panic("eventq: Schedule with nil callback")
 	}
-	e := &Event{at: at, seq: q.seq, index: -1, fn: fn}
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		e = &Event{}
+	}
+	e.at, e.fn, e.seq, e.state = at, fn, q.seq, statePending
 	q.seq++
 	heap.Push(&q.h, e)
-	q.len++
-	return e
+	q.live++
+	return Handle{e: e, gen: e.gen}
 }
 
 // Cancel removes the event from the queue if it has not fired yet. It is
-// idempotent and safe to call on nil.
-func (q *Queue) Cancel(e *Event) {
-	if e == nil || e.cancel {
+// idempotent and inert on zero, fired, cancelled, and recycled Handles —
+// in particular, cancelling after the event fired cannot corrupt Len.
+func (q *Queue) Cancel(h Handle) {
+	if !h.Active() {
 		return
 	}
-	e.cancel = true
+	e := h.e
+	e.state = stateTombstone
 	e.fn = nil
-	if e.index >= 0 {
-		heap.Remove(&q.h, e.index)
-	}
-	q.len--
+	q.live--
+	q.maybeCompact()
 }
 
 // PeekTime reports the firing time of the earliest live event, or
 // simtime.Never when the queue is empty.
 func (q *Queue) PeekTime() simtime.Time {
+	q.drain()
 	if len(q.h) == 0 {
 		return simtime.Never
 	}
 	return q.h[0].at
 }
 
-// Pop removes and returns the earliest live event, or nil when empty.
-func (q *Queue) Pop() *Event {
-	if len(q.h) == 0 {
-		return nil
-	}
-	e := heap.Pop(&q.h).(*Event)
-	q.len--
-	return e
-}
-
-// Fire pops the earliest event and invokes its callback with now set to the
-// event's scheduled time. It reports false when the queue is empty.
+// Fire pops the earliest live event and invokes its callback with now set
+// to the event's scheduled time. It reports false when the queue is empty.
+// The event record is recycled before the callback runs, so a callback
+// that immediately reschedules reuses it without allocating.
 func (q *Queue) Fire() bool {
-	e := q.Pop()
-	if e == nil {
+	q.drain()
+	if len(q.h) == 0 {
 		return false
 	}
-	fn := e.fn
-	e.fn = nil
-	fn(e.at)
+	e := heap.Pop(&q.h).(*Event)
+	q.live--
+	at, fn := e.at, e.fn
+	q.recycle(e)
+	fn(at)
 	return true
+}
+
+// drain discards tombstones sitting at the top of the heap.
+func (q *Queue) drain() {
+	for len(q.h) > 0 && q.h[0].state == stateTombstone {
+		q.recycle(heap.Pop(&q.h).(*Event))
+	}
+}
+
+// maybeCompact rebuilds the heap from live events when tombstones dominate
+// it, bounding memory for workloads that cancel far-future events faster
+// than the clock reaches them.
+func (q *Queue) maybeCompact() {
+	if len(q.h) < 64 || q.live*2 >= len(q.h) {
+		return
+	}
+	kept := q.h[:0]
+	for _, e := range q.h {
+		if e.state == statePending {
+			kept = append(kept, e)
+		} else {
+			q.recycle(e)
+		}
+	}
+	for i := len(kept); i < len(q.h); i++ {
+		q.h[i] = nil
+	}
+	q.h = kept
+	heap.Init(&q.h)
+}
+
+// recycle returns a record to the free list, invalidating outstanding
+// Handles to it.
+func (q *Queue) recycle(e *Event) {
+	e.gen++
+	e.fn = nil
+	e.state = stateFree
+	q.free = append(q.free, e)
 }
 
 type eventHeap []*Event
@@ -107,24 +185,15 @@ func (h eventHeap) Less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
 
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
-	e.index = -1
 	*h = old[:n-1]
 	return e
 }

@@ -44,19 +44,22 @@ func TestFIFOAtSameInstant(t *testing.T) {
 func TestCancel(t *testing.T) {
 	var q Queue
 	fired := false
-	e := q.Schedule(5, func(simtime.Time) { fired = true })
+	h := q.Schedule(5, func(simtime.Time) { fired = true })
+	if !h.Active() {
+		t.Fatal("freshly scheduled handle not active")
+	}
 	if q.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", q.Len())
 	}
-	q.Cancel(e)
+	q.Cancel(h)
 	if q.Len() != 0 {
 		t.Fatalf("Len after cancel = %d, want 0", q.Len())
 	}
-	if !e.Cancelled() {
-		t.Fatal("event not marked cancelled")
+	if h.Active() {
+		t.Fatal("cancelled handle still active")
 	}
-	q.Cancel(e) // idempotent
-	q.Cancel(nil)
+	q.Cancel(h)        // idempotent
+	q.Cancel(Handle{}) // zero handle is inert
 	for q.Fire() {
 	}
 	if fired {
@@ -64,16 +67,60 @@ func TestCancel(t *testing.T) {
 	}
 }
 
+// Regression: cancelling a handle whose event already fired must be a
+// no-op. The pre-Handle implementation decremented q.len in this case,
+// driving Len negative and desynchronizing it from the heap.
+func TestCancelAfterFireDoesNotCorruptLen(t *testing.T) {
+	var q Queue
+	h := q.Schedule(1, func(simtime.Time) {})
+	q.Schedule(2, func(simtime.Time) {})
+	if !q.Fire() { // fires h's event
+		t.Fatal("Fire returned false")
+	}
+	if h.Active() {
+		t.Fatal("fired handle still active")
+	}
+	q.Cancel(h)
+	if q.Len() != 1 {
+		t.Fatalf("Len after cancel-after-fire = %d, want 1", q.Len())
+	}
+	if !q.Fire() {
+		t.Fatal("remaining event did not fire")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len drained = %d, want 0", q.Len())
+	}
+}
+
+// Regression: a stale handle must not cancel an unrelated event that
+// recycled the same record.
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	var q Queue
+	h1 := q.Schedule(1, func(simtime.Time) {})
+	q.Fire() // record goes to the free list
+	fired := false
+	h2 := q.Schedule(2, func(simtime.Time) { fired = true }) // reuses the record
+	q.Cancel(h1)                                             // stale — must not touch h2's event
+	if !h2.Active() {
+		t.Fatal("recycled event killed by stale handle")
+	}
+	for q.Fire() {
+	}
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
 func TestCancelMiddle(t *testing.T) {
 	var q Queue
 	var got []int
-	var es []*Event
+	var hs []Handle
 	for i := 0; i < 10; i++ {
 		i := i
-		es = append(es, q.Schedule(simtime.Time(i), func(simtime.Time) { got = append(got, i) }))
+		hs = append(hs, q.Schedule(simtime.Time(i), func(simtime.Time) { got = append(got, i) }))
 	}
-	q.Cancel(es[3])
-	q.Cancel(es[7])
+	q.Cancel(hs[3])
+	q.Cancel(hs[7])
 	for q.Fire() {
 	}
 	if len(got) != 8 {
@@ -92,17 +139,26 @@ func TestPeekTime(t *testing.T) {
 		t.Fatal("empty queue PeekTime should be Never")
 	}
 	q.Schedule(99, func(simtime.Time) {})
-	q.Schedule(7, func(simtime.Time) {})
+	h := q.Schedule(7, func(simtime.Time) {})
 	if q.PeekTime() != 7 {
 		t.Fatalf("PeekTime = %v, want 7", q.PeekTime())
 	}
+	// Lazy cancellation: PeekTime must skip the tombstone at the top.
+	q.Cancel(h)
+	if q.PeekTime() != 99 {
+		t.Fatalf("PeekTime after cancelling head = %v, want 99", q.PeekTime())
+	}
 }
 
-func TestEventAt(t *testing.T) {
+func TestHandleAt(t *testing.T) {
 	var q Queue
-	e := q.Schedule(1234, func(simtime.Time) {})
-	if e.At() != 1234 {
-		t.Fatalf("At = %v, want 1234", e.At())
+	h := q.Schedule(1234, func(simtime.Time) {})
+	if h.At() != 1234 {
+		t.Fatalf("At = %v, want 1234", h.At())
+	}
+	q.Cancel(h)
+	if h.At() != simtime.Never {
+		t.Fatalf("At on inert handle = %v, want Never", h.At())
 	}
 }
 
@@ -113,6 +169,48 @@ func TestFireReceivesScheduledTime(t *testing.T) {
 	q.Fire()
 	if at != 777 {
 		t.Fatalf("callback now = %v, want 777", at)
+	}
+}
+
+// Pooling must not allocate on the steady-state schedule→fire cycle, and a
+// callback that reschedules immediately must be able to reuse the record
+// it is firing from.
+func TestRescheduleFromCallbackReusesRecord(t *testing.T) {
+	var q Queue
+	count := 0
+	var tick func(now simtime.Time)
+	tick = func(now simtime.Time) {
+		count++
+		if count < 100 {
+			q.Schedule(now+1, tick)
+		}
+	}
+	q.Schedule(0, tick)
+	for q.Fire() {
+	}
+	if count != 100 {
+		t.Fatalf("ticked %d times, want 100", count)
+	}
+	if n := len(q.free); n != 1 {
+		t.Fatalf("free list holds %d records after self-rescheduling loop, want 1", n)
+	}
+}
+
+func TestCompactionBoundsTombstones(t *testing.T) {
+	var q Queue
+	// Repeatedly cancel-and-reschedule a far-future event, the hv.setEvent
+	// pattern. Without compaction the heap grows without bound because the
+	// clock never reaches the tombstones.
+	h := q.Schedule(1_000_000, func(simtime.Time) {})
+	for i := 0; i < 10_000; i++ {
+		q.Cancel(h)
+		h = q.Schedule(simtime.Time(1_000_000+i), func(simtime.Time) {})
+	}
+	if len(q.h) > 256 {
+		t.Fatalf("heap holds %d entries for 1 live event; compaction failed", len(q.h))
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
 	}
 }
 
@@ -138,32 +236,77 @@ func TestQuickSortedOrder(t *testing.T) {
 	}
 }
 
-// Property: random interleavings of schedule/cancel keep Len consistent and
-// fire exactly the non-cancelled events.
+// Property: same-instant events fire in insertion order even when records
+// are recycled between batches (stability must come from seq, not from
+// record identity).
+func TestQuickStableOrderWithRecycling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		var got []int
+		next := 0
+		for batch := 0; batch < 5; batch++ {
+			at := simtime.Time(batch * 100)
+			for i := 0; i < 1+rng.Intn(20); i++ {
+				id := next
+				next++
+				q.Schedule(at, func(simtime.Time) { got = append(got, id) })
+			}
+			for q.Fire() {
+			}
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return len(got) == next
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random interleavings of Schedule/Cancel/Fire keep Len equal to
+// scheduled − cancelled − fired, and fire exactly the non-cancelled events
+// in time order.
 func TestQuickCancelConsistency(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		var q Queue
-		var live, cancelled int
-		var es []*Event
-		for i := 0; i < 300; i++ {
-			if rng.Intn(3) > 0 || len(es) == 0 {
-				e := q.Schedule(simtime.Time(rng.Int63n(1000)), func(simtime.Time) { live++ })
-				es = append(es, e)
-			} else {
-				e := es[rng.Intn(len(es))]
-				if !e.Cancelled() {
+		var fired []simtime.Time
+		var hs []Handle
+		scheduled, cancelled, firedCount := 0, 0, 0
+		for i := 0; i < 500; i++ {
+			switch r := rng.Intn(6); {
+			case r <= 2 || len(hs) == 0:
+				h := q.Schedule(simtime.Time(rng.Int63n(1000)), func(now simtime.Time) { fired = append(fired, now) })
+				hs = append(hs, h)
+				scheduled++
+			case r <= 4:
+				h := hs[rng.Intn(len(hs))]
+				if h.Active() {
 					cancelled++
 				}
-				q.Cancel(e)
+				q.Cancel(h)
+			default:
+				if q.Fire() {
+					firedCount++
+				}
+			}
+			if q.Len() != scheduled-cancelled-firedCount {
+				return false
 			}
 		}
 		want := q.Len()
-		fired := 0
+		drained := 0
 		for q.Fire() {
-			fired++
+			drained++
 		}
-		return fired == want && live == fired
+		if drained != want || q.Len() != 0 {
+			return false
+		}
+		return len(fired) == scheduled-cancelled
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
@@ -181,5 +324,22 @@ func BenchmarkScheduleFire(b *testing.B) {
 		}
 	}
 	for q.Fire() {
+	}
+}
+
+// BenchmarkCancelReschedule measures the hv.setEvent hot pattern: cancel a
+// pending wakeup and schedule a new one. The seed implementation paid a
+// heap.Remove plus a fresh allocation per iteration.
+func BenchmarkCancelReschedule(b *testing.B) {
+	var q Queue
+	for i := 0; i < 512; i++ {
+		q.Schedule(simtime.Time(1<<40+i), func(simtime.Time) {})
+	}
+	h := q.Schedule(1<<20, func(simtime.Time) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Cancel(h)
+		h = q.Schedule(simtime.Time(1<<20+i%1024), func(simtime.Time) {})
 	}
 }

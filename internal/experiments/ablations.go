@@ -8,6 +8,7 @@ import (
 	"rtvirt/internal/guest"
 	"rtvirt/internal/hv"
 	"rtvirt/internal/metrics"
+	"rtvirt/internal/runner"
 	"rtvirt/internal/simtime"
 	"rtvirt/internal/task"
 	"rtvirt/internal/workload"
@@ -47,10 +48,10 @@ func AblationMinSlice(seed uint64, duration simtime.Duration) []AblationRow {
 		{Slice: simtime.Micros(140), Period: simtime.Micros(300)},
 		{Slice: simtime.Micros(290), Period: simtime.Micros(700)},
 	}
-	var rows []AblationRow
-	for _, minSlice := range []simtime.Duration{
+	points := []simtime.Duration{
 		simtime.Micros(50), simtime.Micros(250), simtime.Millis(1), simtime.Millis(5),
-	} {
+	}
+	return runner.Map(0, points, func(minSlice simtime.Duration) AblationRow {
 		cfg := core.DefaultConfig(core.RTVirt)
 		cfg.PCPUs = 1
 		cfg.Seed = seed
@@ -76,24 +77,23 @@ func AblationMinSlice(seed uint64, duration simtime.Duration) []AblationRow {
 		}
 		sys.Run(duration)
 		sum := workload.MissSummary(tasks)
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Label:       fmt.Sprintf("min-slice %v", minSlice),
 			MissPct:     100 * sum.Ratio(),
 			OverheadPct: sys.Overhead().Percent,
 			Extra:       1000 * float64(sys.Overhead().ScheduleTime) / float64(duration),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // AblationSlack sweeps the per-VCPU budget slack (§4.1 uses 500µs; §6
 // notes misses "can be further reduced by increasing the scheduling
 // slack"). Extra = allocated bandwidth in CPUs.
 func AblationSlack(seed uint64, duration simtime.Duration) []AblationRow {
-	var rows []AblationRow
-	for _, slack := range []simtime.Duration{
+	points := []simtime.Duration{
 		0, simtime.Micros(50), simtime.Micros(500), simtime.Millis(2),
-	} {
+	}
+	return runner.Map(0, points, func(slack simtime.Duration) AblationRow {
 		cfg := core.DefaultConfig(core.RTVirt)
 		cfg.PCPUs = 15
 		cfg.Seed = seed
@@ -117,14 +117,13 @@ func AblationSlack(seed uint64, duration simtime.Duration) []AblationRow {
 		}
 		sys.Run(duration)
 		sum := workload.MissSummary(tasks)
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Label:       fmt.Sprintf("slack %v", slack),
 			MissPct:     100 * sum.Ratio(),
 			OverheadPct: sys.Overhead().Percent,
 			Extra:       sys.AllocatedBandwidth(),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // AblationServerFlavour contrasts RT-Xen's deferrable server with the
@@ -132,8 +131,7 @@ func AblationSlack(seed uint64, duration simtime.Duration) []AblationRow {
 // server absorb work that arrives after its VM went briefly idle. Extra =
 // RTA2 mean response in µs.
 func AblationServerFlavour(seed uint64, duration simtime.Duration) []AblationRow {
-	var rows []AblationRow
-	for _, deferrable := range []bool{true, false} {
+	return runner.Map(0, []bool{true, false}, func(deferrable bool) AblationRow {
 		stack := core.RTXen
 		if !deferrable {
 			stack = core.TwoLevelEDF
@@ -151,14 +149,13 @@ func AblationServerFlavour(seed uint64, duration simtime.Duration) []AblationRow
 		if deferrable {
 			label = "deferrable server"
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Label:       label,
 			MissPct:     100 * tasks["RTA2"].Stats().MissRatio(),
 			OverheadPct: sys.Overhead().Percent,
 			Extra:       tasks["RTA2"].Stats().MeanResp().Micros(),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // AblationWorkConserving contrasts DP-WRAP with and without §3.4's
@@ -167,8 +164,7 @@ func AblationServerFlavour(seed uint64, duration simtime.Duration) []AblationRow
 // the fluid rate across several global slices; leftover sharing completes
 // them in one. Extra = mean latency µs.
 func AblationWorkConserving(seed uint64, duration simtime.Duration) []AblationRow {
-	var rows []AblationRow
-	for _, wc := range []bool{true, false} {
+	return runner.Map(0, []bool{true, false}, func(wc bool) AblationRow {
 		cfg := core.DefaultConfig(core.RTVirt)
 		cfg.PCPUs = 1
 		cfg.Seed = seed
@@ -187,23 +183,21 @@ func AblationWorkConserving(seed uint64, duration simtime.Duration) []AblationRo
 		if !wc {
 			label = "pure DP-WRAP quotas"
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Label:       label,
 			MissPct:     100 * mc.Task.Stats().MissRatio(),
 			P999:        mc.Latency.Percentile(99.9),
 			OverheadPct: sys.Overhead().Percent,
 			Extra:       mc.Latency.Mean().Micros(),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // AblationIdleTax contrasts DP-WRAP with and without the §6 usage tax: an
 // over-claiming idle VM either blocks a newcomer or is squeezed to admit
 // it. Extra = newcomer admitted (1) or rejected (0).
 func AblationIdleTax(seed uint64, duration simtime.Duration) []AblationRow {
-	var rows []AblationRow
-	for _, tax := range []bool{false, true} {
+	return runner.Map(0, []bool{false, true}, func(tax bool) AblationRow {
 		cfg := core.DefaultConfig(core.RTVirt)
 		cfg.PCPUs = 1
 		cfg.Seed = seed
@@ -233,14 +227,13 @@ func AblationIdleTax(seed uint64, duration simtime.Duration) []AblationRow {
 		if tax {
 			label = "idle tax"
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Label:       label,
 			MissPct:     missPct,
 			OverheadPct: sys.Overhead().Percent,
 			Extra:       admitted,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // AblationGuestScheduler contrasts RTVirt's partitioned-EDF guest with
@@ -252,8 +245,7 @@ func AblationGuestScheduler(seed uint64, duration simtime.Duration) []AblationRo
 	params := []task.Params{
 		pp(2, 10), pp(3, 15), pp(5, 20), pp(4, 25), pp(6, 40), pp(5, 50),
 	} // ≈1.1 CPUs across 2 VCPUs
-	var rows []AblationRow
-	for _, gedf := range []bool{false, true} {
+	return runner.Map(0, []bool{false, true}, func(gedf bool) AblationRow {
 		cfg := core.DefaultConfig(core.RTVirt)
 		cfg.PCPUs = 2
 		cfg.Seed = seed
@@ -278,12 +270,11 @@ func AblationGuestScheduler(seed uint64, duration simtime.Duration) []AblationRo
 		if gedf {
 			label = "gEDF guest"
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Label:       label,
 			MissPct:     100 * sum.Ratio(),
 			OverheadPct: sys.Overhead().Percent,
 			Extra:       float64(sys.Host.Overhead.GuestSwitches) / duration.Seconds(),
-		})
-	}
-	return rows
+		}
+	})
 }

@@ -7,6 +7,7 @@ import (
 	"rtvirt/internal/core"
 	"rtvirt/internal/hv"
 	"rtvirt/internal/metrics"
+	"rtvirt/internal/runner"
 	"rtvirt/internal/simtime"
 	"rtvirt/internal/task"
 )
@@ -29,41 +30,37 @@ type Figure1Result struct {
 // 100% utilization no implementation (including the Xen prototype, which
 // always configures slack) can add its overhead margin.
 func Figure1(seed uint64, duration simtime.Duration) Figure1Result {
-	res := Figure1Result{Baseline: map[string]float64{}, RTVirt: map[string]float64{}}
+	// The two arms are independent simulations; run them on the runner.
+	ratios := runner.Map(0, []bool{true, false}, func(baseline bool) map[string]float64 {
+		return fig1Arm(seed, duration, baseline)
+	})
+	return Figure1Result{Baseline: ratios[0], RTVirt: ratios[1]}
+}
 
-	// --- Baseline: plain two-level EDF (polling servers), paper params.
-	{
-		cfg := core.DefaultConfig(core.TwoLevelEDF)
-		cfg.PCPUs = 1
-		cfg.Seed = seed
-		cfg.Costs = hv.CostModel{}
-		sys := core.NewSystem(cfg)
-		tasks := fig1Workload(sys, true)
-		sys.Start()
-		fig1Start(sys, tasks)
-		sys.Run(duration)
-		for name, tk := range tasks {
-			res.Baseline[name] = tk.Stats().MissRatio()
-		}
-	}
-
-	// --- RTVirt: cross-layer DP-WRAP.
-	{
-		cfg := core.DefaultConfig(core.RTVirt)
-		cfg.PCPUs = 1
-		cfg.Seed = seed
-		cfg.Costs = hv.CostModel{}
+// fig1Arm runs the motivating scenario under one stack: plain two-level
+// EDF with the paper's polling-server params (baseline), or cross-layer
+// DP-WRAP (RTVirt).
+func fig1Arm(seed uint64, duration simtime.Duration, baseline bool) map[string]float64 {
+	var cfg core.Config
+	if baseline {
+		cfg = core.DefaultConfig(core.TwoLevelEDF)
+	} else {
+		cfg = core.DefaultConfig(core.RTVirt)
 		cfg.Slack = simtime.Micros(100)
-		sys := core.NewSystem(cfg)
-		tasks := fig1Workload(sys, false)
-		sys.Start()
-		fig1Start(sys, tasks)
-		sys.Run(duration)
-		for name, tk := range tasks {
-			res.RTVirt[name] = tk.Stats().MissRatio()
-		}
 	}
-	return res
+	cfg.PCPUs = 1
+	cfg.Seed = seed
+	cfg.Costs = hv.CostModel{}
+	sys := core.NewSystem(cfg)
+	tasks := fig1Workload(sys, baseline)
+	sys.Start()
+	fig1Start(sys, tasks)
+	sys.Run(duration)
+	out := map[string]float64{}
+	for name, tk := range tasks {
+		out[name] = tk.Stats().MissRatio()
+	}
+	return out
 }
 
 type fig1Tasks map[string]*task.Task

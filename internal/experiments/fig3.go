@@ -10,6 +10,7 @@ import (
 	"rtvirt/internal/guest"
 	"rtvirt/internal/hv"
 	"rtvirt/internal/metrics"
+	"rtvirt/internal/runner"
 	"rtvirt/internal/simtime"
 	"rtvirt/internal/task"
 	"rtvirt/internal/workload"
@@ -43,6 +44,9 @@ type Figure3Config struct {
 	PCPUs    int
 	Sporadic bool // run the §4.2 sporadic variant instead of periodic
 	Requests int  // sporadic requests per RTA (100 in the paper)
+	// Parallel is the worker count for the group × framework fan-out;
+	// <= 0 uses runner.Default(). Results are identical at any setting.
+	Parallel int
 }
 
 // DefaultFigure3Config mirrors §4.2.
@@ -52,11 +56,21 @@ func DefaultFigure3Config() Figure3Config {
 
 // Figure3 runs every Table-1 group under both frameworks and reports the
 // bandwidth bars of Figure 3 (and §4.2's sporadic variant when
-// cfg.Sporadic is set).
+// cfg.Sporadic is set). The group × framework grid — 12 fully independent
+// simulations — is fanned out over cfg.Parallel workers; rows come back in
+// group order regardless of completion order.
 func Figure3(cfg Figure3Config) []Figure3Row {
-	var rows []Figure3Row
-	for _, group := range Table1Groups() {
-		rows = append(rows, runGroup(group, cfg))
+	groups := Table1Groups()
+	arms := make([]fig3Arm, 0, 2*len(groups))
+	for _, g := range groups {
+		arms = append(arms, fig3Arm{group: g, rtxen: true}, fig3Arm{group: g, rtxen: false})
+	}
+	parts := runner.Map(cfg.Parallel, arms, func(a fig3Arm) Figure3Row {
+		return runGroupArm(a.group, cfg, a.rtxen)
+	})
+	rows := make([]Figure3Row, len(groups))
+	for i := range groups {
+		rows[i] = mergeFig3Arms(parts[2*i], parts[2*i+1])
 	}
 	return rows
 }
@@ -72,8 +86,44 @@ func Table2(cfg Figure3Config) Figure3Row {
 	panic("experiments: NH-Dec group missing")
 }
 
+// fig3Arm identifies one independent simulation of the Figure-3 grid.
+type fig3Arm struct {
+	group RTAGroup
+	rtxen bool
+}
+
 func runGroup(group RTAGroup, cfg Figure3Config) Figure3Row {
+	parts := runner.Map(cfg.Parallel, []bool{true, false}, func(rtxen bool) Figure3Row {
+		return runGroupArm(group, cfg, rtxen)
+	})
+	return mergeFig3Arms(parts[0], parts[1])
+}
+
+// mergeFig3Arms combines the RT-Xen arm's row (which carries the group
+// identity and offline analysis) with the RTVirt arm's fields.
+func mergeFig3Arms(xen, rtv Figure3Row) Figure3Row {
+	xen.RTVirtAllocated = rtv.RTVirtAllocated
+	xen.RTVirtMisses = rtv.RTVirtMisses
+	xen.RTVirtRes = rtv.RTVirtRes
+	return xen
+}
+
+// runGroupArm runs one framework's simulation for one group. The RT-Xen
+// arm also carries the group bookkeeping (bandwidth request, offline CSA)
+// so mergeFig3Arms can assemble a complete row from the two halves.
+func runGroupArm(group RTAGroup, cfg Figure3Config, rtxen bool) Figure3Row {
 	row := Figure3Row{Group: group.Name, RTAReq: group.Bandwidth()}
+	if !rtxen {
+		sys := newSys(core.RTVirt, cfg)
+		tasks := deployGroup(sys, group, nil, cfg)
+		for _, g := range sys.Guests() {
+			row.RTVirtRes = append(row.RTVirtRes, g.AllocatedBandwidth())
+			row.RTVirtAllocated += g.AllocatedBandwidth()
+		}
+		sys.Run(cfg.Duration + simtime.Seconds(5))
+		row.RTVirtMisses = workload.MissSummary(tasks)
+		return row
+	}
 
 	// Offline CSA for the RT-Xen arm: one interface per (single-RTA) VM.
 	var vmConfigs []csa.VMConfig
@@ -96,25 +146,10 @@ func runGroup(group RTAGroup, cfg Figure3Config) Figure3Row {
 		row.RTXenClaimed = float64(claimed)
 	}
 
-	// --- RT-Xen arm.
-	{
-		sys := newSys(core.RTXen, cfg)
-		tasks := deployGroup(sys, group, row.Interfaces, cfg)
-		sys.Run(cfg.Duration + simtime.Seconds(5))
-		row.RTXenMisses = workload.MissSummary(tasks)
-	}
-
-	// --- RTVirt arm.
-	{
-		sys := newSys(core.RTVirt, cfg)
-		tasks := deployGroup(sys, group, nil, cfg)
-		for _, g := range sys.Guests() {
-			row.RTVirtRes = append(row.RTVirtRes, g.AllocatedBandwidth())
-			row.RTVirtAllocated += g.AllocatedBandwidth()
-		}
-		sys.Run(cfg.Duration + simtime.Seconds(5))
-		row.RTVirtMisses = workload.MissSummary(tasks)
-	}
+	sys := newSys(core.RTXen, cfg)
+	tasks := deployGroup(sys, group, row.Interfaces, cfg)
+	sys.Run(cfg.Duration + simtime.Seconds(5))
+	row.RTXenMisses = workload.MissSummary(tasks)
 	return row
 }
 

@@ -3,11 +3,13 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"rtvirt/internal/core"
 	"rtvirt/internal/csa"
 	"rtvirt/internal/hv"
 	"rtvirt/internal/metrics"
+	"rtvirt/internal/runner"
 	"rtvirt/internal/simtime"
 	"rtvirt/internal/task"
 	"rtvirt/internal/workload"
@@ -111,8 +113,7 @@ type Table4Row struct {
 // under each scheduler, measuring request tail latency. These are the
 // measurements §4.4 uses to derive each framework's VM configuration.
 func Table4(seed uint64, duration simtime.Duration) []Table4Row {
-	var rows []Table4Row
-	for _, arm := range []Arm{ArmCredit, ArmRTXenA, ArmRTVirt} {
+	return runner.Map(0, []Arm{ArmCredit, ArmRTXenA, ArmRTVirt}, func(arm Arm) Table4Row {
 		sys := newMemcachedSystem(arm, 1, seed)
 		var mc *workload.Memcached
 		cfg := workload.DefaultMemcachedConfig()
@@ -146,16 +147,15 @@ func Table4(seed uint64, duration simtime.Duration) []Table4Row {
 		if arm == ArmRTXenA {
 			name = "RT-Xen"
 		}
-		rows = append(rows, Table4Row{
+		return Table4Row{
 			Scheduler: name,
 			P90:       mc.Latency.Percentile(90),
 			P95:       mc.Latency.Percentile(95),
 			P99:       mc.Latency.Percentile(99),
 			P999:      mc.Latency.Percentile(99.9),
 			Requests:  mc.Latency.Count(),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // RenderTable4 formats the dedicated-CPU latency table.
@@ -200,10 +200,10 @@ func DefaultFigure5Config() Figure5Config {
 }
 
 // Figure5a runs the non-RTA contention experiment: one memcached VM and 19
-// CPU-bound VMs sharing two PCPUs, under each of the four arms.
+// CPU-bound VMs sharing two PCPUs, under each of the four arms (each an
+// independent simulation, fanned out over runner.Default() workers).
 func Figure5a(cfg Figure5Config) []Figure5Row {
-	var rows []Figure5Row
-	for _, arm := range Arms() {
+	return runner.Map(0, Arms(), func(arm Arm) Figure5Row {
 		sys := newMemcachedSystem(arm, 2, cfg.Seed)
 		// Credit weights: the memcached VM gets 26% of the two CPUs
 		// (130µs/500µs per §4.4); the remainder is spread over the hogs.
@@ -238,9 +238,8 @@ func Figure5a(cfg Figure5Config) []Figure5Row {
 		}
 		row.SLOMet = row.P999 <= cfg.SLO
 		row.AllocatedBW = mcAllocated(arm)
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	})
 }
 
 // mcAllocated reports the bandwidth reserved for one memcached VM.
@@ -261,8 +260,7 @@ func mcAllocated(arm Arm) float64 {
 // ten video-streaming VMs (3×24, 3×30, 2×48, 2×60 fps) on 15 PCPUs.
 func Figure5b(cfg Figure5Config) []Figure5Row {
 	fpsMix := []int{24, 24, 24, 30, 30, 30, 48, 48, 60, 60}
-	var rows []Figure5Row
-	for _, arm := range Arms() {
+	return runner.Map(0, Arms(), func(arm Arm) Figure5Row {
 		sys := newMemcachedSystem(arm, 15, cfg.Seed)
 		var mcs []*workload.Memcached
 		for i := 0; i < 5; i++ {
@@ -337,17 +335,23 @@ func Figure5b(cfg Figure5Config) []Figure5Row {
 				row.ClaimedCPUs = claimed
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	})
 }
 
-// videoIfaceCache memoises the per-fps CSA interfaces.
-var videoIfaceCache = map[int]hv.Reservation{}
+// videoIfaceCache memoises the per-fps CSA interfaces. The mutex makes the
+// memoiser safe to call from concurrent runner workers (the cached value is
+// a pure function of fps, so which worker fills it is immaterial).
+var (
+	videoIfaceMu    sync.Mutex
+	videoIfaceCache = map[int]hv.Reservation{}
+)
 
 // videoInterface is the CSA interface used for a video VM under RT-Xen,
 // computed at 500µs budget resolution over millisecond candidate periods.
 func videoInterface(fps int) hv.Reservation {
+	videoIfaceMu.Lock()
+	defer videoIfaceMu.Unlock()
 	if r, ok := videoIfaceCache[fps]; ok {
 		return r
 	}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rtvirt/internal/runner"
+	"rtvirt/internal/simtime"
+)
+
+// withWorkers runs fn with the runner's global default worker count pinned
+// to n, restoring the GOMAXPROCS default afterwards.
+func withWorkers(n int, fn func()) {
+	runner.SetDefault(n)
+	defer runner.SetDefault(0)
+	fn()
+}
+
+// TestFigure3ParallelDeterminism checks the run-isolation contract end to
+// end: the full group × framework grid must produce byte-identical rows
+// whether the simulations run sequentially or on eight workers.
+func TestFigure3ParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	cfg := DefaultFigure3Config()
+	cfg.Duration = simtime.Seconds(5)
+
+	cfg.Parallel = 1
+	seq := Figure3(cfg)
+	cfg.Parallel = 8
+	par := Figure3(cfg)
+
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("Figure3 rows differ between -parallel 1 and 8:\nseq: %#v\npar: %#v", seq, par)
+	}
+	if a, b := RenderFigure3(seq), RenderFigure3(par); a != b {
+		t.Fatalf("rendered Figure 3 differs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestRobustnessParallelDeterminism fans three seeds out over eight workers
+// and expects the exact sequential fold.
+func TestRobustnessParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	var seq, par []RobustnessResult
+	withWorkers(1, func() { seq = Robustness(3, 5*simtime.Second) })
+	withWorkers(8, func() { par = Robustness(3, 5*simtime.Second) })
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("Robustness differs between 1 and 8 workers:\nseq: %#v\npar: %#v", seq, par)
+	}
+	if a, b := RenderRobustness(seq), RenderRobustness(par); a != b {
+		t.Fatalf("rendered robustness differs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestAblationSlackParallelDeterminism covers the sweeps that take their
+// worker count from the global default rather than a config field.
+func TestAblationSlackParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	var seq, par []AblationRow
+	withWorkers(1, func() { seq = AblationSlack(1, 2*simtime.Second) })
+	withWorkers(8, func() { par = AblationSlack(1, 2*simtime.Second) })
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("AblationSlack differs between 1 and 8 workers:\nseq: %#v\npar: %#v", seq, par)
+	}
+	if a, b := fmt.Sprintf("%v", seq), fmt.Sprintf("%v", par); a != b {
+		t.Fatalf("formatted AblationSlack differs:\n%s\nvs\n%s", a, b)
+	}
+}

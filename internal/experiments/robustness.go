@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"rtvirt/internal/metrics"
+	"rtvirt/internal/runner"
 	"rtvirt/internal/simtime"
 )
 
@@ -34,9 +35,17 @@ func (r RobustnessResult) quantile(q float64) float64 {
 	return v[idx]
 }
 
+// robustnessSeed is one seed's worth of claim outcomes, in claim order.
+type robustnessSeed [4]struct {
+	Held  bool
+	Value float64
+}
+
 // Robustness re-runs the paper's headline experiments across seeds and
 // checks that every claim survives the randomness of the workloads — the
 // difference between reproducing a number and reproducing a finding.
+// Seeds are independent simulations, so they fan out over runner.Default()
+// workers; results are folded back in seed order.
 func Robustness(runs int, duration simtime.Duration) []RobustnessResult {
 	if runs <= 0 {
 		runs = 5
@@ -47,41 +56,60 @@ func Robustness(runs int, duration simtime.Duration) []RobustnessResult {
 		{Claim: "Fig5a: RTVirt uses ≥45% less bandwidth than RT-Xen A", Unit: "saving %"},
 		{Claim: "T6: RTVirt admits all 100 RTAs at <1% overhead, below RT-Xen", Unit: "RTVirt overhead %"},
 	}
-	for seed := uint64(1); seed <= uint64(runs); seed++ {
-		// Figure 1.
-		f1 := Figure1(seed, simtime.MinDur(duration, 30*simtime.Second))
-		held := f1.Baseline["RTA2"] > 0.25 && f1.RTVirt["RTA2"] == 0
-		record(&out[0], held, 100*f1.Baseline["RTA2"])
-
-		// Figure 5a.
-		cfg5 := DefaultFigure5Config()
-		cfg5.Seed = seed
-		cfg5.Duration = duration
-		rows := Figure5a(cfg5)
-		byArm := map[Arm]Figure5Row{}
-		for _, r := range rows {
-			byArm[r.Arm] = r
+	seeds := make([]uint64, runs)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	perSeed := runner.Map(0, seeds, func(seed uint64) robustnessSeed {
+		return robustnessRun(seed, duration)
+	})
+	for _, rs := range perSeed {
+		for i := range out {
+			record(&out[i], rs[i].Held, rs[i].Value)
 		}
-		rtv, credit, xenA := byArm[ArmRTVirt], byArm[ArmCredit], byArm[ArmRTXenA]
-		record(&out[1], rtv.SLOMet && !credit.SLOMet, rtv.P999.Micros())
-		saving := 1 - rtv.AllocatedBW/xenA.AllocatedBW
-		record(&out[2], saving >= 0.45, 100*saving)
-
-		// Table 6 (single-RTA scenario).
-		t6cfg := DefaultTable6Config()
-		t6cfg.Seed = seed
-		t6cfg.Duration = simtime.MinDur(duration, 10*simtime.Second)
-		t6 := Table6(SingleRTAVMs, t6cfg)
-		byFw := map[string]Table6Row{}
-		for _, r := range t6 {
-			byFw[r.Framework] = r
-		}
-		rtv6, xen6 := byFw["RTVirt"], byFw["RT-Xen"]
-		held6 := rtv6.RTAsAdmitted == 100 && rtv6.OverheadPct < 1.0 &&
-			rtv6.OverheadPct < xen6.OverheadPct
-		record(&out[3], held6, rtv6.OverheadPct)
 	}
 	return out
+}
+
+// robustnessRun evaluates every headline claim under one seed.
+func robustnessRun(seed uint64, duration simtime.Duration) robustnessSeed {
+	var rs robustnessSeed
+
+	// Figure 1.
+	f1 := Figure1(seed, simtime.MinDur(duration, 30*simtime.Second))
+	rs[0].Held = f1.Baseline["RTA2"] > 0.25 && f1.RTVirt["RTA2"] == 0
+	rs[0].Value = 100 * f1.Baseline["RTA2"]
+
+	// Figure 5a.
+	cfg5 := DefaultFigure5Config()
+	cfg5.Seed = seed
+	cfg5.Duration = duration
+	rows := Figure5a(cfg5)
+	byArm := map[Arm]Figure5Row{}
+	for _, r := range rows {
+		byArm[r.Arm] = r
+	}
+	rtv, credit, xenA := byArm[ArmRTVirt], byArm[ArmCredit], byArm[ArmRTXenA]
+	rs[1].Held = rtv.SLOMet && !credit.SLOMet
+	rs[1].Value = rtv.P999.Micros()
+	saving := 1 - rtv.AllocatedBW/xenA.AllocatedBW
+	rs[2].Held = saving >= 0.45
+	rs[2].Value = 100 * saving
+
+	// Table 6 (single-RTA scenario).
+	t6cfg := DefaultTable6Config()
+	t6cfg.Seed = seed
+	t6cfg.Duration = simtime.MinDur(duration, 10*simtime.Second)
+	t6 := Table6(SingleRTAVMs, t6cfg)
+	byFw := map[string]Table6Row{}
+	for _, r := range t6 {
+		byFw[r.Framework] = r
+	}
+	rtv6, xen6 := byFw["RTVirt"], byFw["RT-Xen"]
+	rs[3].Held = rtv6.RTAsAdmitted == 100 && rtv6.OverheadPct < 1.0 &&
+		rtv6.OverheadPct < xen6.OverheadPct
+	rs[3].Value = rtv6.OverheadPct
+	return rs
 }
 
 func record(r *RobustnessResult, held bool, value float64) {

@@ -8,6 +8,7 @@ import (
 	"rtvirt/internal/csa"
 	"rtvirt/internal/hv"
 	"rtvirt/internal/metrics"
+	"rtvirt/internal/runner"
 	"rtvirt/internal/simtime"
 	"rtvirt/internal/task"
 	"rtvirt/internal/workload"
@@ -52,6 +53,9 @@ type Table6Config struct {
 	Seed     uint64
 	Duration simtime.Duration
 	PCPUs    int
+	// Parallel is the worker count for the two framework arms; <= 0 uses
+	// runner.Default(). Results are identical at any setting.
+	Parallel int
 }
 
 // DefaultTable6Config mirrors §4.5 (15 PCPUs; the paper's run length is
@@ -60,12 +64,13 @@ func DefaultTable6Config() Table6Config {
 	return Table6Config{Seed: 1, Duration: 30 * simtime.Second, PCPUs: 15}
 }
 
-// Table6 runs one scenario under both frameworks.
+// Table6 runs one scenario under both frameworks. The two arms are
+// independent simulations and run on cfg.Parallel workers.
 func Table6(scenario Table6Scenario, cfg Table6Config) []Table6Row {
-	return []Table6Row{
-		table6RTVirt(scenario, cfg),
-		table6RTXen(scenario, cfg),
-	}
+	arms := []func(Table6Scenario, Table6Config) Table6Row{table6RTVirt, table6RTXen}
+	return runner.Map(cfg.Parallel, arms, func(arm func(Table6Scenario, Table6Config) Table6Row) Table6Row {
+		return arm(scenario, cfg)
+	})
 }
 
 // table6RTVirt deploys the scenario on the RTVirt stack: tasks register

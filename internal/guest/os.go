@@ -97,7 +97,7 @@ type taskState struct {
 	vs *vcpuState
 	os *OS
 	// periodic release machinery
-	releaseEv   *eventq.Event
+	releaseEv   eventq.Handle
 	nextRelease simtime.Time
 	// DemandFn, when set, draws each job's actual demand; nil means the
 	// declared slice.
@@ -308,10 +308,8 @@ func (g *OS) Unregister(t *task.Task) error {
 	if !ok {
 		return ErrUnknownTask
 	}
-	if ts.releaseEv != nil {
-		g.sim.Cancel(ts.releaseEv)
-		ts.releaseEv = nil
-	}
+	g.sim.Cancel(ts.releaseEv)
+	ts.releaseEv = eventq.Handle{}
 	delete(g.tasks, t)
 	if ts.vs == nil {
 		return nil
@@ -425,7 +423,7 @@ func (g *OS) StartPeriodic(t *task.Task, start simtime.Time) {
 	if !ok {
 		panic("guest: StartPeriodic on unregistered task")
 	}
-	if ts.releaseEv != nil {
+	if ts.releaseEv.Active() {
 		panic("guest: StartPeriodic called twice")
 	}
 	ts.nextRelease = start
@@ -436,7 +434,7 @@ func (g *OS) StartPeriodic(t *task.Task, start simtime.Time) {
 }
 
 func (g *OS) periodicTick(ts *taskState, now simtime.Time) {
-	ts.releaseEv = nil
+	ts.releaseEv = eventq.Handle{}
 	if g.tasks[ts.t] != ts {
 		return // unregistered meanwhile
 	}
@@ -776,7 +774,7 @@ func (g *OS) publish(vs *vcpuState) {
 			// point where the allocation demand resumes — a slice must not
 			// span it, or the task's window can land before its job even
 			// arrives.
-			if ts.releaseEv != nil {
+			if ts.releaseEv.Active() {
 				add(ts.nextRelease)
 			}
 		case task.Sporadic:

@@ -8,7 +8,7 @@ import (
 )
 
 // eventRef aliases the event handle type so vcpu.go stays import-light.
-type eventRef = eventq.Event
+type eventRef = eventq.Handle
 
 // DebugVM, when non-empty, logs job execution for the named VM.
 var DebugVM string
@@ -69,12 +69,12 @@ func (h *Host) advance(p *PCPU, now simtime.Time) {
 // setEvent replaces the PCPU's pending kernel event.
 func (h *Host) setEvent(p *PCPU, at simtime.Time) {
 	h.Sim.Cancel(p.ev)
-	p.ev = nil
+	p.ev = eventRef{}
 	if at == simtime.Never {
 		return
 	}
 	p.ev = h.Sim.At(at, func(now simtime.Time) {
-		p.ev = nil
+		p.ev = eventRef{}
 		h.refresh(p, now)
 	})
 }
@@ -218,7 +218,7 @@ func (h *Host) dispatch(p *PCPU, now simtime.Time) {
 // when a higher-priority VCPU appears.
 func (h *Host) Kick(p *PCPU, now simtime.Time) {
 	h.Sim.Cancel(p.ev)
-	p.ev = nil
+	p.ev = eventRef{}
 	h.advance(p, now)
 	h.dispatch(p, now)
 }
@@ -243,7 +243,7 @@ func (h *Host) VCPURecheck(v *VCPU, now simtime.Time) {
 		return
 	}
 	h.Sim.Cancel(p.ev)
-	p.ev = nil
+	p.ev = eventRef{}
 	h.advance(p, now)
 	if p.cur != v { // completed & switched during advance
 		h.refresh(p, now)

@@ -171,7 +171,7 @@ func (h *Host) RemoveVM(vm *VM) {
 	for _, v := range vm.VCPUs {
 		if p := v.pcpu; p != nil {
 			h.Sim.Cancel(p.ev)
-			p.ev = nil
+			p.ev = eventRef{}
 			h.advance(p, now)
 			if p.cur == v {
 				if j := v.curJob; j != nil {
@@ -205,7 +205,7 @@ func (h *Host) RemoveVM(vm *VM) {
 	// on removal have already done this; an extra kick is harmless).
 	if h.started {
 		for _, p := range orphaned {
-			if p.cur == nil && p.ev == nil {
+			if p.cur == nil && !p.ev.Active() {
 				h.Kick(p, now)
 			}
 		}

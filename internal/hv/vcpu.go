@@ -107,7 +107,7 @@ type PCPU struct {
 	allocEnd      simtime.Time
 	overheadUntil simtime.Time
 	lastAdvance   simtime.Time
-	ev            *eventRef
+	ev            eventRef
 
 	// BusyTime is job execution time; OverheadTime is scheduler/context
 	// switch/hypercall time; IdleTime is the remainder.

@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtvirt/internal/simtime"
+)
+
+func TestMergePreservesSortednessTailCase(t *testing.T) {
+	var a, b LatencyRecorder
+	for i := 0; i < 100; i++ {
+		a.Add(simtime.Duration(i))
+	}
+	for i := 100; i < 200; i++ {
+		b.Add(simtime.Duration(i))
+	}
+	if !a.isSorted() || !b.isSorted() {
+		t.Fatal("monotone Add streams should keep recorders sorted")
+	}
+	a.Merge(&b)
+	if !a.sorted {
+		t.Fatal("tail-mergeable Merge dropped the sorted flag")
+	}
+	// The fast path must still produce correct answers.
+	if got := a.Percentile(50); got != 99 {
+		t.Fatalf("p50 after merge = %v, want 99", got)
+	}
+	if a.Count() != 200 || a.Max() != 199 {
+		t.Fatalf("count/max after merge = %d/%v", a.Count(), a.Max())
+	}
+}
+
+func TestMergeOverlappingFallsBackToResort(t *testing.T) {
+	var a, b LatencyRecorder
+	a.Add(10)
+	a.Add(20)
+	b.Add(5) // below a's max: not tail-mergeable
+	b.Add(30)
+	a.Merge(&b)
+	if a.sorted {
+		t.Fatal("overlapping Merge must clear the sorted flag")
+	}
+	if got := a.Percentile(100); got != 30 {
+		t.Fatalf("p100 = %v, want 30", got)
+	}
+	if got := a.Percentile(25); got != 5 {
+		t.Fatalf("p25 = %v, want 5", got)
+	}
+}
+
+func TestMergeEmptyOther(t *testing.T) {
+	var a, b LatencyRecorder
+	a.Add(1)
+	a.Add(2)
+	a.Merge(&b)
+	if a.Count() != 2 || !a.isSorted() {
+		t.Fatalf("merge of empty recorder disturbed state: count=%d sorted=%v", a.Count(), a.isSorted())
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	var a, b LatencyRecorder
+	b.Add(3)
+	b.Add(1) // unsorted source
+	a.Merge(&b)
+	if a.sorted {
+		t.Fatal("merge of unsorted source must not claim sortedness")
+	}
+	if got := a.Percentile(100); got != 3 {
+		t.Fatalf("p100 = %v, want 3", got)
+	}
+}
+
+func TestReserve(t *testing.T) {
+	var l LatencyRecorder
+	l.Add(1)
+	l.Reserve(1000)
+	if cap(l.samples)-len(l.samples) < 1000 {
+		t.Fatalf("Reserve left headroom %d, want >= 1000", cap(l.samples)-len(l.samples))
+	}
+	base := &l.samples[0]
+	for i := 0; i < 1000; i++ {
+		l.Add(simtime.Duration(i))
+	}
+	if &l.samples[0] != base {
+		t.Fatal("Adds within reserved capacity reallocated the backing array")
+	}
+	l.Reserve(0)
+	l.Reserve(-5)
+	var s LatencyRecorder
+	s.EnableStreaming()
+	s.Reserve(100) // no-op, must not panic
+}
+
+func TestStreamingMatchesExactOnSmoothDistribution(t *testing.T) {
+	var exact, stream LatencyRecorder
+	stream.EnableStreaming()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200_000; i++ {
+		// Log-normal-ish latency shape: a body with a heavy-ish tail.
+		d := simtime.Duration(1000 + rng.ExpFloat64()*10_000)
+		exact.Add(d)
+		stream.Add(d)
+	}
+	if !stream.Streaming() {
+		t.Fatal("Streaming() false after EnableStreaming")
+	}
+	if stream.Count() != exact.Count() {
+		t.Fatalf("count %d != %d", stream.Count(), exact.Count())
+	}
+	if stream.Mean() != exact.Mean() {
+		t.Fatalf("mean %v != %v (mean is exact in streaming mode)", stream.Mean(), exact.Mean())
+	}
+	if stream.Max() != exact.Max() {
+		t.Fatalf("max %v != %v (max is exact in streaming mode)", stream.Max(), exact.Max())
+	}
+	for _, p := range StreamingPercentiles {
+		e, s := float64(exact.Percentile(p)), float64(stream.Percentile(p))
+		if rel := (s - e) / e; rel < -0.05 || rel > 0.05 {
+			t.Fatalf("p%g: streaming %v vs exact %v (%.1f%% off)", p, simtime.Duration(s), simtime.Duration(e), 100*rel)
+		}
+	}
+}
+
+func TestStreamingUnsupportedOps(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	var s LatencyRecorder
+	s.EnableStreaming()
+	s.Add(1)
+	var other LatencyRecorder
+	expectPanic("Merge into streaming", func() { s.Merge(&other) })
+	expectPanic("Merge from streaming", func() { other.Merge(&s) })
+	expectPanic("CDF", func() { s.CDF() })
+	expectPanic("untracked percentile", func() { s.Percentile(50) })
+
+	var late LatencyRecorder
+	late.Add(1)
+	expectPanic("EnableStreaming after Add", func() { late.EnableStreaming() })
+}
+
+func TestStreamingTailSummary(t *testing.T) {
+	var s LatencyRecorder
+	s.EnableStreaming()
+	for i := 1; i <= 1000; i++ {
+		s.Add(simtime.Duration(i))
+	}
+	// TailSummary touches exactly the tracked percentiles; it must work.
+	if s.TailSummary() == "" {
+		t.Fatal("empty TailSummary")
+	}
+	s.EnableStreaming() // idempotent
+}
+
+func BenchmarkAddExact(b *testing.B) {
+	var l LatencyRecorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Add(simtime.Duration(i % 4096))
+	}
+}
+
+func BenchmarkAddStreaming(b *testing.B) {
+	var l LatencyRecorder
+	l.EnableStreaming()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Add(simtime.Duration(i % 4096))
+	}
+}

@@ -99,7 +99,7 @@ type Scheduler struct {
 	pcpu  []*pcpuState
 
 	sliceStart, sliceEnd simtime.Time
-	boundaryEv           *eventq.Event
+	boundaryEv           eventq.Handle
 	started              bool
 	replanPending        bool
 	rescuePending        bool
@@ -114,7 +114,12 @@ type Scheduler struct {
 	// and the smoothed per-VCPU tax factor in (TaxFloor, 1].
 	taxFactor map[*hv.VCPU]float64
 	windowUse map[*hv.VCPU]simtime.Duration
-	taxEv     *eventq.Event
+	taxEv     eventq.Handle
+
+	// entryPool recycles slice-layout entries across rebuilds; a steady
+	// workload reaches a high-water mark after a few slices and then the
+	// per-boundary layout allocates nothing.
+	entryPool []*entry
 
 	// Boundaries counts global slices; SlicesTotal accumulates their
 	// lengths (for diagnostics and tests).
@@ -352,16 +357,18 @@ func (s *Scheduler) replanKick(now simtime.Time) {
 // deadline from the shared slots, proportional partitioning, wrap-around
 // layout. It does not kick the PCPUs.
 func (s *Scheduler) rebuild(now simtime.Time) {
-	// Charge outstanding run time to the old entries before discarding.
+	// Charge outstanding run time to the old entries before recycling.
 	for _, ps := range s.pcpu {
 		s.chargeRun(ps, now)
+		for _, e := range ps.entries {
+			e.v = nil
+			s.entryPool = append(s.entryPool, e)
+		}
 		ps.entries = ps.entries[:0]
 		ps.lastEntry = nil
 	}
-	if s.boundaryEv != nil {
-		s.h.Sim.Cancel(s.boundaryEv)
-		s.boundaryEv = nil
-	}
+	s.h.Sim.Cancel(s.boundaryEv)
+	s.boundaryEv = eventq.Handle{}
 
 	deadline := s.nextGlobalDeadline(now)
 	slice := deadline.Sub(now)
@@ -426,7 +433,7 @@ func (s *Scheduler) rebuild(now simtime.Time) {
 		for pi := 0; pi < m; pi++ {
 			if pinnedFill[pi]+alloc <= slice {
 				ps := s.pcpu[pi]
-				ps.entries = append(ps.entries, &entry{v: v, remaining: alloc, pcpu: pi})
+				ps.entries = append(ps.entries, s.newEntry(v, alloc, pi))
 				pinnedFill[pi] += alloc
 				placed = true
 				break
@@ -464,7 +471,7 @@ func (s *Scheduler) rebuild(now simtime.Time) {
 			room := slice - offset
 			take := simtime.MinDur(alloc, room)
 			ps := s.pcpu[pcpuIdx]
-			ps.entries = append(ps.entries, &entry{v: v, remaining: take, pcpu: pcpuIdx})
+			ps.entries = append(ps.entries, s.newEntry(v, take, pcpuIdx))
 			alloc -= take
 			offset += take
 			if offset >= slice {
@@ -494,9 +501,21 @@ func (s *Scheduler) rebuild(now simtime.Time) {
 	}
 
 	s.boundaryEv = s.h.Sim.At(deadline, func(at simtime.Time) {
-		s.boundaryEv = nil
+		s.boundaryEv = eventq.Handle{}
 		s.replanKick(at)
 	})
+}
+
+// newEntry takes a recycled layout entry from the pool, or allocates one.
+func (s *Scheduler) newEntry(v *hv.VCPU, remaining simtime.Duration, pcpu int) *entry {
+	if n := len(s.entryPool); n > 0 {
+		e := s.entryPool[n-1]
+		s.entryPool[n-1] = nil
+		s.entryPool = s.entryPool[:n-1]
+		e.v, e.remaining, e.pcpu = v, remaining, pcpu
+		return e
+	}
+	return &entry{v: v, remaining: remaining, pcpu: pcpu}
 }
 
 // allocFor computes v's exact fluid share of a slice (floor + carry),
@@ -527,7 +546,7 @@ func (s *Scheduler) wrapPlace(v *hv.VCPU, alloc, slice simtime.Duration, fill []
 		}
 		take := simtime.MinDur(alloc, room)
 		ps := s.pcpu[pi]
-		e := &entry{v: v, remaining: take, pcpu: pi}
+		e := s.newEntry(v, take, pi)
 		if first {
 			ps.entries = append(ps.entries, e)
 			first = false

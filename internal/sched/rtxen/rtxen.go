@@ -70,7 +70,7 @@ func PollingConfig() Config {
 type serverState struct {
 	budget   simtime.Duration // remaining budget in the current period
 	deadline simtime.Time     // end of the current period = EDF priority
-	replEv   *eventq.Event
+	replEv   eventq.Handle
 	// running tracks the PCPU charging this server, or -1.
 	runningOn int
 	lastAt    simtime.Time
@@ -86,6 +86,11 @@ type Scheduler struct {
 	// Schedule scans it in order (the sorted-queue maintenance cost is
 	// what Table 6's schedule-time column measures for RT-Xen).
 	runq []*hv.VCPU
+
+	// scratch is reused wherever a stable copy of the runqueue is needed
+	// while armReplenish resorts it (Start is the only such site today);
+	// without it every call snapshots into a fresh slice.
+	scratch []*hv.VCPU
 
 	bgCursor int
 	started  bool
@@ -108,9 +113,10 @@ func (s *Scheduler) Attach(h *hv.Host) { s.h = h }
 // Start implements hv.HostScheduler.
 func (s *Scheduler) Start(now simtime.Time) {
 	s.started = true
-	// Snapshot: armReplenish resorts the runqueue while we iterate.
-	snapshot := append([]*hv.VCPU(nil), s.runq...)
-	for _, v := range snapshot {
+	// Snapshot into the scratch buffer: armReplenish resorts the runqueue
+	// while we iterate.
+	s.scratch = append(s.scratch[:0], s.runq...)
+	for _, v := range s.scratch {
 		s.armReplenish(v, now)
 	}
 }
@@ -150,7 +156,7 @@ func (s *Scheduler) RemoveVCPU(v *hv.VCPU, now simtime.Time) {
 			break
 		}
 	}
-	if st, ok := v.SchedData.(*serverState); ok && st.replEv != nil {
+	if st, ok := v.SchedData.(*serverState); ok {
 		s.h.Sim.Cancel(st.replEv)
 	}
 	v.SchedData = nil

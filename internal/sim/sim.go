@@ -43,7 +43,7 @@ func (s *Simulator) Pending() int { return s.q.Len() }
 
 // At schedules fn to run at the absolute instant at. Scheduling in the past
 // panics: that is always a logic error in a discrete-event model.
-func (s *Simulator) At(at simtime.Time, fn func(now simtime.Time)) *eventq.Event {
+func (s *Simulator) At(at simtime.Time, fn func(now simtime.Time)) eventq.Handle {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
@@ -51,15 +51,15 @@ func (s *Simulator) At(at simtime.Time, fn func(now simtime.Time)) *eventq.Event
 }
 
 // After schedules fn to run d from now.
-func (s *Simulator) After(d simtime.Duration, fn func(now simtime.Time)) *eventq.Event {
+func (s *Simulator) After(d simtime.Duration, fn func(now simtime.Time)) eventq.Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: scheduling event %v in the past", d))
 	}
 	return s.At(s.now.Add(d), fn)
 }
 
-// Cancel removes a pending event. Safe on nil and already-fired events.
-func (s *Simulator) Cancel(e *eventq.Event) { s.q.Cancel(e) }
+// Cancel removes a pending event. Inert on zero and already-fired handles.
+func (s *Simulator) Cancel(h eventq.Handle) { s.q.Cancel(h) }
 
 // Step fires the single earliest pending event, advancing the clock to its
 // scheduled time. It reports false when no events remain.
