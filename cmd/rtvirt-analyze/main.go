@@ -9,26 +9,35 @@
 //   - host-level admission: allocated bandwidth, claimed CPUs under both
 //     the partitioned and gEDF analyses, and the bandwidth RTVirt saves.
 //
-// The exit status gates CI: 0 when the scenario's own stack admits the
-// workload, 1 when it does not.
+// With -replay the arguments are instead JSONL telemetry streams written
+// by `rtvirt-sim -trace`: each is re-ingested through the same sinks the
+// simulator uses online (per-kind counters, P² quantiles, schedule
+// digest) for offline inspection.
+//
+// The exit status gates CI: 0 when every scenario's own stack admits its
+// workload, 1 when any does not.
 //
 // Usage:
 //
 //	rtvirt-analyze scenario.json
 //	rtvirt-analyze -quantum-us 100 -json scenario.json
-//	rtvirt-analyze -period-us 5000 scenario.json   # fixed server period
+//	rtvirt-analyze -period-us 5000 scenario.json     # fixed server period
+//	rtvirt-analyze -o report.txt a.json b.json       # several scenarios, one report
+//	rtvirt-analyze -replay events.jsonl              # ingest a rtvirt-sim -trace stream
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"rtvirt/internal/analyze"
 	"rtvirt/internal/scenario"
 	"rtvirt/internal/simtime"
+	"rtvirt/internal/trace"
 )
 
 func main() {
@@ -38,45 +47,109 @@ func main() {
 		slackUS   = flag.Int64("slack-us", 500, "RTVirt per-VCPU budget slack in µs")
 		pcpus     = flag.Int("pcpus", 0, "override the scenario's physical CPU count")
 		jsonOut   = flag.Bool("json", false, "emit the full analysis as JSON")
+		outPath   = flag.String("o", "", "write the report to this file instead of stdout")
+		replay    = flag.Bool("replay", false, "treat arguments as JSONL telemetry streams from rtvirt-sim -trace")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rtvirt-analyze [flags] <scenario.json>")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: rtvirt-analyze [flags] <scenario.json> [more scenarios...]")
+		fmt.Fprintln(os.Stderr, "       rtvirt-analyze -replay <events.jsonl> [more traces...]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		log.Fatal(err)
-	}
-	sc, err := scenario.Parse(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *pcpus > 0 {
-		sc.PCPUs = *pcpus
-	}
 
-	h, err := analyze.Analyze(sc, analyze.Options{
-		Quantum: simtime.Micros(*quantumUS),
-		Period:  simtime.Micros(*periodUS),
-		Slack:   simtime.Micros(*slackUS),
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(h); err != nil {
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
 			log.Fatal(err)
 		}
-		os.Exit(exitCode(sc, h))
+		defer f.Close()
+		out = f
 	}
-	print(h)
-	os.Exit(exitCode(sc, h))
+
+	if *replay {
+		for i, path := range flag.Args() {
+			if flag.NArg() > 1 || i > 0 {
+				fmt.Fprintf(out, "==== %s ====\n", path)
+			}
+			if err := replayTrace(out, path); err != nil {
+				log.Fatal(err)
+			}
+			if i < flag.NArg()-1 {
+				fmt.Fprintln(out)
+			}
+		}
+		return
+	}
+
+	status := 0
+	for i, path := range flag.Args() {
+		if flag.NArg() > 1 {
+			fmt.Fprintf(out, "==== %s ====\n", path)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc, err := scenario.Parse(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *pcpus > 0 {
+			sc.PCPUs = *pcpus
+		}
+
+		h, err := analyze.Analyze(sc, analyze.Options{
+			Quantum: simtime.Micros(*quantumUS),
+			Period:  simtime.Micros(*periodUS),
+			Slack:   simtime.Micros(*slackUS),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		if *jsonOut {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(h); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			print(out, h)
+		}
+		if c := exitCode(sc, h); c > status {
+			status = c
+		}
+		if i < flag.NArg()-1 {
+			fmt.Fprintln(out)
+		}
+	}
+	os.Exit(status)
+}
+
+// replayTrace re-ingests one JSONL telemetry stream through the standard
+// sinks and writes counts, Arg quantiles and the schedule digest.
+func replayTrace(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rec := &trace.Recorder{}
+	stats := trace.NewStatsSink(0.99)
+	n, err := trace.ReadJSONL(f, rec, stats)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "replayed %d events\n", n)
+	fmt.Fprintf(w, "events: %s\n\n", stats.Counts())
+	if err := stats.Report(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return trace.Summarize(rec).Write(w)
 }
 
 // exitCode gates CI on the admission verdict of the scenario's own stack:
@@ -95,34 +168,34 @@ func exitCode(sc scenario.Scenario, h analyze.HostAnalysis) int {
 	return 0
 }
 
-func print(h analyze.HostAnalysis) {
+func print(w io.Writer, h analyze.HostAnalysis) {
 	for _, vm := range h.VMs {
-		fmt.Printf("VM %-14s tasks=%.3f CPUs", vm.Name, vm.TaskBW)
+		fmt.Fprintf(w, "VM %-14s tasks=%.3f CPUs", vm.Name, vm.TaskBW)
 		if vm.Background > 0 {
-			fmt.Printf(" (+%d background)", vm.Background)
+			fmt.Fprintf(w, " (+%d background)", vm.Background)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 		if len(vm.RTXen) > vm.DeclaredVCPUs {
-			fmt.Printf("  note: needs %d VCPUs, scenario declares %d\n",
+			fmt.Fprintf(w, "  note: needs %d VCPUs, scenario declares %d\n",
 				len(vm.RTXen), vm.DeclaredVCPUs)
 		}
 		for i := range vm.RTXen {
 			x, r := vm.RTXen[i], vm.RTVirt[i]
-			fmt.Printf("  vcpu%d  tasks %v\n", i, x.Tasks)
-			fmt.Printf("         rt-xen interface %v = %.3f CPUs\n", x.Interface, x.Bandwidth())
-			fmt.Printf("         rtvirt reserve   %v = %.3f CPUs\n", r.Interface, r.Bandwidth())
+			fmt.Fprintf(w, "  vcpu%d  tasks %v\n", i, x.Tasks)
+			fmt.Fprintf(w, "         rt-xen interface %v = %.3f CPUs\n", x.Interface, x.Bandwidth())
+			fmt.Fprintf(w, "         rtvirt reserve   %v = %.3f CPUs\n", r.Interface, r.Bandwidth())
 		}
 	}
-	fmt.Println()
-	fmt.Printf("host: %d physical CPUs, %.3f CPUs of real-time demand\n", h.PCPUs, h.TaskBW)
-	fmt.Printf("  rt-xen  allocated %.3f CPUs, claimed %d (partitioned)",
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "host: %d physical CPUs, %.3f CPUs of real-time demand\n", h.PCPUs, h.TaskBW)
+	fmt.Fprintf(w, "  rt-xen  allocated %.3f CPUs, claimed %d (partitioned)",
 		h.RTXenAllocated, h.RTXenClaimedFFD)
 	if h.RTXenClaimedGEDF > 0 {
-		fmt.Printf(" / %d (gEDF)", h.RTXenClaimedGEDF)
+		fmt.Fprintf(w, " / %d (gEDF)", h.RTXenClaimedGEDF)
 	}
-	fmt.Printf(" — %s\n", verdict(h.RTXenAdmitted))
-	fmt.Printf("  rtvirt  allocated %.3f CPUs — %s\n", h.RTVirtAllocated, verdict(h.RTVirtAdmitted))
-	fmt.Printf("  rtvirt bandwidth saving vs static interfaces: %.1f%%\n", h.SavingPct)
+	fmt.Fprintf(w, " — %s\n", verdict(h.RTXenAdmitted))
+	fmt.Fprintf(w, "  rtvirt  allocated %.3f CPUs — %s\n", h.RTVirtAllocated, verdict(h.RTVirtAdmitted))
+	fmt.Fprintf(w, "  rtvirt bandwidth saving vs static interfaces: %.1f%%\n", h.SavingPct)
 }
 
 func verdict(ok bool) string {

@@ -34,6 +34,7 @@
 //
 //	rtvirt-sim scenario.json
 //	rtvirt-sim -trace-csv schedule.csv scenario.json
+//	rtvirt-sim -trace events.jsonl scenario.json  # stream telemetry; replay with rtvirt-analyze -replay
 //	rtvirt-sim -parallel 4 a.json b.json c.json   # independent runs, output in arg order
 package main
 
@@ -51,6 +52,7 @@ import (
 
 func main() {
 	var (
+		traceOut  = flag.String("trace", "", "stream every telemetry event to this JSONL file (re-ingest with rtvirt-analyze -replay)")
 		traceCSV  = flag.String("trace-csv", "", "write the schedule trace to this CSV file")
 		traceJSON = flag.String("trace-json", "", "write the schedule trace to this JSON file")
 		traceSVG  = flag.String("trace-svg", "", "render the schedule as an SVG Gantt chart to this file")
@@ -67,7 +69,7 @@ func main() {
 	}
 	tracing := *traceCSV != "" || *traceJSON != "" || *traceSVG != "" || *summary
 	if flag.NArg() > 1 {
-		if tracing {
+		if tracing || *traceOut != "" {
 			log.Fatal("trace/summary flags require a single scenario")
 		}
 		// Each scenario is an independent simulation: fan out over the
@@ -93,11 +95,31 @@ func main() {
 		return
 	}
 
-	res, err := runScenario(flag.Arg(0), scenario.Options{Trace: tracing})
+	opts := scenario.Options{Trace: tracing}
+	var jsonl *trace.JSONL
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		jsonl = trace.NewJSONL(f)
+		opts.Sinks = append(opts.Sinks, jsonl)
+	}
+	res, err := runScenario(flag.Arg(0), opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	report(res)
+	if jsonl != nil {
+		if err := jsonl.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntelemetry (%d events) written to %s\n", res.Events.Total(), *traceOut)
+	}
+	if tracing || jsonl != nil {
+		fmt.Printf("events: %s\n", res.Events)
+	}
 
 	if res.Trace != nil {
 		if *summary {

@@ -11,6 +11,7 @@ import (
 	"rtvirt/internal/runner"
 	"rtvirt/internal/simtime"
 	"rtvirt/internal/task"
+	"rtvirt/internal/trace"
 	"rtvirt/internal/workload"
 )
 
@@ -46,6 +47,11 @@ type Table6Row struct {
 	OverheadPct   float64
 	Migrations    uint64
 	Misses        metrics.MissSummary
+	// Events tallies the arm's telemetry events by kind; the hypercall and
+	// migration columns of the rendered table come from here and always
+	// agree with the kernel's overhead meters (counter parity). Per-arm
+	// counts merge deterministically across the parallel runner.
+	Events trace.Counts
 }
 
 // Table6Config tunes the scalability experiment.
@@ -82,6 +88,9 @@ func table6RTVirt(scenario Table6Scenario, cfg Table6Config) Table6Row {
 	sys := core.NewSystem(sysCfg)
 
 	row := Table6Row{Scenario: scenario, Framework: "RTVirt"}
+	// Count-only sink: O(kinds) memory, zero allocations per event, so the
+	// 100-RTA runs can afford always-on event accounting.
+	sys.Host.TraceTo(&row.Events)
 	var tasks []*task.Task
 	groups := Table5Groups()
 	id := 0
@@ -138,6 +147,7 @@ func table6RTXen(scenario Table6Scenario, cfg Table6Config) Table6Row {
 	sys := core.NewSystem(sysCfg)
 
 	row := Table6Row{Scenario: scenario, Framework: "RT-Xen"}
+	sys.Host.TraceTo(&row.Events)
 	groups := Table5Groups()
 
 	// Offline analysis: per-group single-task interface at CARTS (1ms)
@@ -267,14 +277,16 @@ func fillOverhead(row *Table6Row, sys *core.System, tasks []*task.Task) {
 // RenderTable6 formats the rows of one scenario.
 func RenderTable6(rows []Table6Row) string {
 	t := metrics.NewTable("Framework", "RTAs", "VMs", "VCPUs",
-		"Schedule time", "Ctx-switch time", "Overhead %", "Miss %")
+		"Schedule time", "Ctx-switch time", "Overhead %", "Miss %",
+		"Hypercalls", "Migrations")
 	for _, r := range rows {
 		t.AddRow(r.Framework,
 			fmt.Sprintf("%d/%d", r.RTAsAdmitted, r.RTAsRequested),
 			r.VMs, r.VCPUs,
 			r.ScheduleTime.String(), r.CtxSwitchTime.String(),
 			fmt.Sprintf("%.3f", r.OverheadPct),
-			fmt.Sprintf("%.4f", 100*r.Misses.Ratio()))
+			fmt.Sprintf("%.4f", 100*r.Misses.Ratio()),
+			r.Events.Hypercalls(), r.Events[trace.Migrate])
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 6 — %s scenario\n", rows[0].Scenario)

@@ -16,6 +16,7 @@ import (
 	"rtvirt/internal/sim"
 	"rtvirt/internal/simtime"
 	"rtvirt/internal/task"
+	"rtvirt/internal/trace"
 )
 
 // Config tunes a guest OS instance.
@@ -173,6 +174,26 @@ func (g *OS) TaskVCPU(t *task.Task) int {
 	return ts.vs.v.Index
 }
 
+// emitVerdict reports a guest-level admission decision onto the host's
+// telemetry bus. Guest verdicts carry the task name (host-level ones do
+// not), so the two layers are distinguishable in a trace; Arg is the
+// requested slice.
+func (g *OS) emitVerdict(t *task.Task, vs *vcpuState, slice simtime.Duration, ok bool) {
+	if !g.host.Tracing() {
+		return
+	}
+	kind := trace.Reject
+	if ok {
+		kind = trace.Admit
+	}
+	ev := trace.Event{At: g.sim.Now(), Kind: kind, PCPU: -1,
+		VM: g.vm.Name, Task: t.Name, Arg: int64(slice)}
+	if vs != nil {
+		ev.VCPU = vs.v.Index
+	}
+	g.host.Emit(ev)
+}
+
 // ---- system-call interface (sched_setattr analogue) ----
 
 // Register admits task t: guest-level admission picks a VCPU with enough
@@ -211,10 +232,12 @@ func (g *OS) Register(t *task.Task) error {
 	ts := &taskState{t: t, os: g}
 	vs, err := g.place(ts, t.Params().Bandwidth())
 	if err != nil {
+		g.emitVerdict(t, nil, t.Params().Slice, false)
 		return err
 	}
 	g.tasks[t] = ts
 	g.pin(ts, vs)
+	g.emitVerdict(t, vs, t.Params().Slice, true)
 	return nil
 }
 
@@ -227,17 +250,20 @@ func (g *OS) RegisterOn(t *task.Task, vcpu int) error {
 	vs := g.vcpus[vcpu]
 	bw := t.Params().Bandwidth()
 	if t.Kind != task.Background && vs.bwSum()+bw > g.cfg.VCPUCapacity+1e-9 {
+		g.emitVerdict(t, vs, t.Params().Slice, false)
 		return ErrNoCapacity
 	}
 	ts := &taskState{t: t, os: g}
 	if g.cfg.CrossLayer {
 		res := g.deriveRes(vs, ts)
 		if err := g.host.SchedRTVirt(hv.Hypercall{Flag: hv.IncBW, VCPU: vs.v, Res: res}); err != nil {
+			g.emitVerdict(t, vs, t.Params().Slice, false)
 			return fmt.Errorf("%w: %v", ErrHostRejected, err)
 		}
 	}
 	g.tasks[t] = ts
 	g.pin(ts, vs)
+	g.emitVerdict(t, vs, t.Params().Slice, true)
 	return nil
 }
 
@@ -267,10 +293,12 @@ func (g *OS) SetAttr(t *task.Task, p task.Params) error {
 			}
 			if err := g.host.SchedRTVirt(hv.Hypercall{Flag: flag, VCPU: vs.v, Res: res}); err != nil {
 				t.SetParams(oldP)
+				g.emitVerdict(t, vs, p.Slice, false)
 				return fmt.Errorf("%w: %v", ErrHostRejected, err)
 			}
 		}
 		g.publish(vs)
+		g.emitVerdict(t, vs, p.Slice, true)
 		return nil
 	}
 
@@ -280,9 +308,11 @@ func (g *OS) SetAttr(t *task.Task, p task.Params) error {
 		if g.cfg.Reshuffle {
 			// Give up only after a repack attempt fails.
 			if err := g.reshuffleFor(ts, p); err == nil {
+				g.emitVerdict(t, ts.vs, p.Slice, true)
 				return nil
 			}
 		}
+		g.emitVerdict(t, vs, p.Slice, false)
 		return ErrNoCapacity
 	}
 	t.SetParams(p)
@@ -293,11 +323,13 @@ func (g *OS) SetAttr(t *task.Task, p task.Params) error {
 		hc := hv.Hypercall{Flag: hv.IncDecBW, VCPU: dst.v, Res: incRes, Dec: vs.v, DecRes: decRes}
 		if err := g.host.SchedRTVirt(hc); err != nil {
 			t.SetParams(oldP)
+			g.emitVerdict(t, vs, p.Slice, false)
 			return fmt.Errorf("%w: %v", ErrHostRejected, err)
 		}
 	}
 	g.unpin(ts)
 	g.pin(ts, dst)
+	g.emitVerdict(t, dst, p.Slice, true)
 	return nil
 }
 

@@ -1,0 +1,43 @@
+package hv
+
+import (
+	"testing"
+
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/task"
+	"rtvirt/internal/trace"
+)
+
+// The kernel's emission helpers run on every dispatch, completion and
+// guest switch, so with no sinks attached they must do no work and no
+// allocation. CI runs this test explicitly as the zero-alloc guard.
+func TestTracerDisabledZeroAlloc(t *testing.T) {
+	_, h, _ := testHost(t, 1, CostModel{})
+	g := newFifoGuest(h)
+	vm := h.NewVM("vm0", g)
+	v, err := vm.AddVCPU(true, Reservation{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Tracing() {
+		t.Fatal("host traces with no sinks attached")
+	}
+	p := h.PCPUs()[0]
+	tk := task.New(0, "t", task.Periodic, task.Params{Slice: simtime.Millis(1), Period: simtime.Millis(10)})
+	j := tk.Release(0, simtime.Millis(1))
+	now := simtime.Time(simtime.Millis(2))
+
+	if n := testing.AllocsPerRun(1000, func() {
+		h.emitDispatch(p, v, now, simtime.Millis(1))
+		h.emitJobDone(v, j, now)
+		h.emitGuestSwitch(v, j, now)
+	}); n != 0 {
+		t.Fatalf("disabled emission helpers allocate %.1f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Emit(trace.Event{At: now, Kind: trace.Migrate, PCPU: 0, VM: vm.Name, VCPU: v.Index})
+	}); n != 0 {
+		t.Fatalf("disabled Emit allocates %.1f allocs/op, want 0", n)
+	}
+	j.Abandon(now)
+}

@@ -5,6 +5,7 @@ import (
 
 	"rtvirt/internal/eventq"
 	"rtvirt/internal/simtime"
+	"rtvirt/internal/trace"
 )
 
 // eventRef aliases the event handle type so vcpu.go stays import-light.
@@ -59,9 +60,7 @@ func (h *Host) advance(p *PCPU, now simtime.Time) {
 	if j.Consume(run) {
 		j.Complete(now)
 		v.curJob = nil
-		if h.tracer != nil {
-			h.tracer.TraceJobDone(v, j, now)
-		}
+		h.emitJobDone(v, j, now)
 		v.VM.Guest.JobCompleted(v, j, now)
 	}
 }
@@ -108,9 +107,7 @@ func (h *Host) continueVCPU(p *PCPU, now simtime.Time) {
 		v.curJob = nil
 		v.pcpu = nil
 		p.cur = nil
-		if h.tracer != nil {
-			h.tracer.TraceDispatch(p, nil, now)
-		}
+		h.emitDispatch(p, nil, now, 0)
 		h.sched.VCPUIdle(v, now)
 		h.dispatch(p, now)
 		return
@@ -119,6 +116,7 @@ func (h *Host) continueVCPU(p *PCPU, now simtime.Time) {
 		h.Overhead.GuestSwitches++
 		h.Overhead.GuestSwitchTime += h.Costs.GuestSwitch
 		p.chargeOverhead(now, h.Costs.GuestSwitch)
+		h.emitGuestSwitch(v, j, now)
 	}
 	v.curJob = j
 	h.armEvent(p, now)
@@ -158,6 +156,13 @@ func (h *Host) dispatch(p *PCPU, now simtime.Time) {
 		old := p.cur
 		if dec.VCPU != old {
 			if old != nil {
+				// A preemption proper: the outgoing VCPU still had work.
+				// Capture the job before it is detached below.
+				if h.bus.Active() && old.curJob != nil {
+					h.bus.Emit(trace.Event{At: now, Kind: trace.Preempt, PCPU: p.ID,
+						VM: old.VM.Name, VCPU: old.Index,
+						Task: old.curJob.Task.Name, Arg: int64(old.curJob.Remaining)})
+				}
 				old.pcpu = nil
 				old.curJob = nil // the unfinished job stays queued in the guest
 				// If the preempted VCPU's queue is empty (its job finished
@@ -180,14 +185,18 @@ func (h *Host) dispatch(p *PCPU, now simtime.Time) {
 					h.Overhead.Migrations++
 					h.Overhead.MigrationTime += h.Costs.Migration
 					p.chargeOverhead(now, h.Costs.Migration)
+					// Emitted where the counter increments; Arg is the
+					// source PCPU, Event.PCPU the destination.
+					if h.bus.Active() {
+						h.bus.Emit(trace.Event{At: now, Kind: trace.Migrate, PCPU: p.ID,
+							VM: nv.VM.Name, VCPU: nv.Index, Arg: int64(nv.lastPCPU.ID)})
+					}
 				}
 				nv.pcpu = p
 				nv.lastPCPU = p
 			}
 			p.cur = dec.VCPU
-			if h.tracer != nil {
-				h.tracer.TraceDispatch(p, dec.VCPU, now)
-			}
+			h.emitDispatch(p, dec.VCPU, now, dec.RunFor)
 		}
 		p.allocEnd = now.Add(dec.RunFor)
 
@@ -202,9 +211,7 @@ func (h *Host) dispatch(p *PCPU, now simtime.Time) {
 			v.curJob = nil
 			v.pcpu = nil
 			p.cur = nil
-			if h.tracer != nil {
-				h.tracer.TraceDispatch(p, nil, now)
-			}
+			h.emitDispatch(p, nil, now, 0)
 			h.sched.VCPUIdle(v, now)
 			continue
 		}
@@ -255,9 +262,7 @@ func (h *Host) VCPURecheck(v *VCPU, now simtime.Time) {
 		v.curJob = nil
 		v.pcpu = nil
 		p.cur = nil
-		if h.tracer != nil {
-			h.tracer.TraceDispatch(p, nil, now)
-		}
+		h.emitDispatch(p, nil, now, 0)
 		h.sched.VCPUIdle(v, now)
 		h.dispatch(p, now)
 		return
@@ -266,6 +271,7 @@ func (h *Host) VCPURecheck(v *VCPU, now simtime.Time) {
 		h.Overhead.GuestSwitches++
 		h.Overhead.GuestSwitchTime += h.Costs.GuestSwitch
 		p.chargeOverhead(now, h.Costs.GuestSwitch)
+		h.emitGuestSwitch(v, j, now)
 		v.curJob = j
 	}
 	h.armEvent(p, now)

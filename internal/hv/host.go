@@ -5,6 +5,7 @@ import (
 
 	"rtvirt/internal/sim"
 	"rtvirt/internal/simtime"
+	"rtvirt/internal/trace"
 )
 
 // Host is the virtual machine monitor: it owns the physical CPUs, the VMs,
@@ -24,7 +25,10 @@ type Host struct {
 	started   bool
 	startTime simtime.Time
 	nextVCPU  int
-	tracer    Tracer
+	// bus fans telemetry events out to attached sinks. The zero value is
+	// disabled and free: Emit on an empty bus does nothing and allocates
+	// nothing, so emission sites stay wired in unconditionally.
+	bus trace.Bus
 }
 
 // NewHost creates a host with m PCPUs driven by sched.
@@ -43,8 +47,22 @@ func NewHost(s *sim.Simulator, m int, sched HostScheduler, costs CostModel) *Hos
 // Scheduler returns the attached host scheduler.
 func (h *Host) Scheduler() HostScheduler { return h.sched }
 
-// SetTracer installs a scheduling-event tracer (nil disables tracing).
-func (h *Host) SetTracer(t Tracer) { h.tracer = t }
+// Bus returns the host's telemetry bus, e.g. to Reset it between phases.
+func (h *Host) Bus() *trace.Bus { return &h.bus }
+
+// TraceTo attaches telemetry sinks; every scheduling event the kernel,
+// the host scheduler, and the guest layer emit is delivered to each sink
+// in attachment order.
+func (h *Host) TraceTo(sinks ...trace.Sink) { h.bus.Attach(sinks...) }
+
+// Tracing reports whether any telemetry sink is attached. Emission sites
+// that must assemble an Event guard on it so the disabled path is free.
+func (h *Host) Tracing() bool { return h.bus.Active() }
+
+// Emit delivers a telemetry event to the attached sinks. Schedulers and
+// the guest layer use it to report their own decisions (replenish,
+// deplete, admission verdicts) onto the host's bus.
+func (h *Host) Emit(ev trace.Event) { h.bus.Emit(ev) }
 
 // PCPUs returns the host's physical CPUs.
 func (h *Host) PCPUs() []*PCPU { return h.pcpus }
@@ -95,7 +113,15 @@ func (h *Host) addVCPU(vm *VM, rt bool, res Reservation, weight int) (*VCPU, err
 		DeadlineSlot: simtime.Never,
 	}
 	if err := h.sched.AdmitVCPU(v); err != nil {
+		if h.bus.Active() {
+			h.bus.Emit(trace.Event{At: h.Sim.Now(), Kind: trace.Reject, PCPU: -1,
+				VM: vm.Name, VCPU: v.Index, Arg: int64(res.Budget)})
+		}
 		return nil, err
+	}
+	if h.bus.Active() {
+		h.bus.Emit(trace.Event{At: h.Sim.Now(), Kind: trace.Admit, PCPU: -1,
+			VM: vm.Name, VCPU: v.Index, Arg: int64(res.Budget)})
 	}
 	h.nextVCPU++
 	vm.VCPUs = append(vm.VCPUs, v)
@@ -110,6 +136,28 @@ func (h *Host) SchedRTVirt(hc Hypercall) error {
 	now := h.Sim.Now()
 	h.Overhead.Hypercalls++
 	h.Overhead.HypercallTime += h.Costs.Hypercall
+	// One event per call, emitted where the counter increments so trace
+	// counts and the Overhead meter always agree.
+	if h.bus.Active() {
+		var kind trace.Kind
+		switch hc.Flag {
+		case IncBW:
+			kind = trace.HypercallIncBW
+		case DecBW:
+			kind = trace.HypercallDecBW
+		default:
+			kind = trace.HypercallIncDecBW
+		}
+		ev := trace.Event{At: now, Kind: kind, PCPU: -1, Arg: int64(hc.Res.Budget)}
+		if hc.VCPU != nil {
+			ev.VM = hc.VCPU.VM.Name
+			ev.VCPU = hc.VCPU.Index
+			if hc.VCPU.pcpu != nil {
+				ev.PCPU = hc.VCPU.pcpu.ID
+			}
+		}
+		h.bus.Emit(ev)
+	}
 	// The hypercall executes in the calling guest's kernel: if that VCPU is
 	// on a PCPU right now, the cost eats into its CPU time.
 	if hc.VCPU != nil && hc.VCPU.pcpu != nil {
@@ -180,9 +228,7 @@ func (h *Host) RemoveVM(vm *VM) {
 				v.curJob = nil
 				v.pcpu = nil
 				p.cur = nil
-				if h.tracer != nil {
-					h.tracer.TraceDispatch(p, nil, now)
-				}
+				h.emitDispatch(p, nil, now, 0)
 				orphaned = append(orphaned, p)
 			}
 		}

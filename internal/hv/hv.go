@@ -188,15 +188,6 @@ type SlotWatcher interface {
 	SlotUpdated(v *VCPU, now simtime.Time)
 }
 
-// Tracer receives scheduling events for offline inspection; see
-// internal/trace for a recording implementation.
-type Tracer interface {
-	// TraceDispatch fires when PCPU p switches to VCPU v (nil = idle).
-	TraceDispatch(p *PCPU, v *VCPU, now simtime.Time)
-	// TraceJobDone fires when a job completes on v.
-	TraceJobDone(v *VCPU, j *task.Job, now simtime.Time)
-}
-
 // ErrNoCrossLayer is returned when sched_rtvirt() is invoked on a host
 // whose scheduler has no cross-layer support (e.g. Credit, RT-Xen).
 var ErrNoCrossLayer = errors.New("hv: host scheduler does not implement sched_rtvirt")

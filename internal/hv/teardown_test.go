@@ -5,17 +5,22 @@ import (
 
 	"rtvirt/internal/simtime"
 	"rtvirt/internal/task"
+	"rtvirt/internal/trace"
 )
 
-// countTracer counts tracer callbacks.
-type countTracer struct {
+// countSink counts dispatch and completion events off the bus.
+type countSink struct {
 	dispatches int
 	done       int
 }
 
-func (c *countTracer) TraceDispatch(*PCPU, *VCPU, simtime.Time) { c.dispatches++ }
-func (c *countTracer) TraceJobDone(*VCPU, *task.Job, simtime.Time) {
-	c.done++
+func (c *countSink) Consume(ev trace.Event) {
+	switch ev.Kind {
+	case trace.Dispatch:
+		c.dispatches++
+	case trace.JobDone:
+		c.done++
+	}
 }
 
 func TestSchedulerAccessor(t *testing.T) {
@@ -27,8 +32,8 @@ func TestSchedulerAccessor(t *testing.T) {
 
 func TestTracerReceivesEvents(t *testing.T) {
 	s, h, _ := testHost(t, 1, CostModel{})
-	tr := &countTracer{}
-	h.SetTracer(tr)
+	tr := &countSink{}
+	h.TraceTo(tr)
 	g := newFifoGuest(h)
 	vm := h.NewVM("vm0", g)
 	v, _ := vm.AddVCPU(true, Reservation{}, 0)
@@ -41,15 +46,15 @@ func TestTracerReceivesEvents(t *testing.T) {
 	if tr.dispatches == 0 || tr.done != 1 {
 		t.Fatalf("tracer saw dispatches=%d done=%d", tr.dispatches, tr.done)
 	}
-	// Disabling must stop the stream.
-	h.SetTracer(nil)
+	// Detaching all sinks must stop the stream.
+	h.Bus().Reset()
 	before := tr.done
 	s.After(0, func(now simtime.Time) {
 		g.submit(v, tk.Release(now, simtime.Millis(1)), now)
 	})
 	s.RunFor(simtime.Millis(20))
 	if tr.done != before {
-		t.Fatalf("tracer still active after SetTracer(nil)")
+		t.Fatalf("sink still active after Bus().Reset()")
 	}
 }
 

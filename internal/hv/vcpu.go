@@ -5,6 +5,7 @@ import (
 
 	"rtvirt/internal/simtime"
 	"rtvirt/internal/task"
+	"rtvirt/internal/trace"
 )
 
 // VM is a guest virtual machine: a named collection of VCPUs plus the
@@ -135,3 +136,50 @@ func (p *PCPU) chargeOverhead(now simtime.Time, cost simtime.Duration) {
 
 // String implements fmt.Stringer.
 func (p *PCPU) String() string { return fmt.Sprintf("pcpu%d", p.ID) }
+
+// emitDispatch reports that p switched to v (nil = idle); grant is the
+// host allocation length (0 when the switch is an undispatch).
+func (h *Host) emitDispatch(p *PCPU, v *VCPU, now simtime.Time, grant simtime.Duration) {
+	if !h.bus.Active() {
+		return
+	}
+	ev := trace.Event{At: now, Kind: trace.Dispatch, PCPU: p.ID, Arg: int64(grant)}
+	if v != nil {
+		ev.VM = v.VM.Name
+		ev.VCPU = v.Index
+	}
+	h.bus.Emit(ev)
+}
+
+// emitJobDone reports a job completion on v as JobDone (Arg = response
+// time) or JobMiss (Arg = lateness).
+func (h *Host) emitJobDone(v *VCPU, j *task.Job, now simtime.Time) {
+	if !h.bus.Active() {
+		return
+	}
+	kind := trace.JobDone
+	arg := int64(now.Sub(j.Release))
+	if j.Deadline != simtime.Never && j.Finish > j.Deadline {
+		kind = trace.JobMiss
+		arg = int64(j.Finish.Sub(j.Deadline))
+	}
+	pcpu := -1
+	if v.pcpu != nil {
+		pcpu = v.pcpu.ID
+	}
+	h.bus.Emit(trace.Event{At: now, Kind: kind, PCPU: pcpu,
+		VM: v.VM.Name, VCPU: v.Index, Task: j.Task.Name, Arg: arg})
+}
+
+// emitGuestSwitch reports a guest-level process switch onto v's next job.
+func (h *Host) emitGuestSwitch(v *VCPU, j *task.Job, now simtime.Time) {
+	if !h.bus.Active() {
+		return
+	}
+	pcpu := -1
+	if v.pcpu != nil {
+		pcpu = v.pcpu.ID
+	}
+	h.bus.Emit(trace.Event{At: now, Kind: trace.GuestSwitch, PCPU: pcpu,
+		VM: v.VM.Name, VCPU: v.Index, Task: j.Task.Name})
+}

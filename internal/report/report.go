@@ -14,6 +14,7 @@ import (
 
 	"rtvirt/internal/experiments"
 	"rtvirt/internal/metrics"
+	"rtvirt/internal/trace"
 )
 
 // Dir manages an output directory of artifacts.
@@ -207,11 +208,13 @@ func (d *Dir) Table6(name string, rows []experiments.Table6Row) error {
 			fmt.Sprintf("%.3f", r.CtxSwitchTime.Millis()),
 			fmt.Sprintf("%.4f", r.OverheadPct),
 			fmt.Sprintf("%.6f", r.Misses.Ratio()),
+			strconv.FormatUint(r.Events.Hypercalls(), 10),
+			strconv.FormatUint(r.Events[trace.Migrate], 10),
 		})
 	}
 	return d.CSV(name, []string{
 		"framework", "rtas", "vms", "vcpus", "schedule_ms", "ctxswitch_ms",
-		"overhead_pct", "miss_ratio",
+		"overhead_pct", "miss_ratio", "hypercalls", "migrations",
 	}, csvRows)
 }
 

@@ -99,6 +99,10 @@ type Result struct {
 	Overhead    core.OverheadReport
 	// Trace holds the schedule trace when requested.
 	Trace *trace.Recorder
+	// Events tallies every telemetry event by kind when any tracing was
+	// on (Options.Trace, Counts, or Sinks). Per-run Counts merge
+	// deterministically across the parallel runner.
+	Events trace.Counts
 }
 
 // Parse decodes a scenario from JSON.
@@ -176,6 +180,12 @@ type Options struct {
 	// Trace records the schedule (capped at TraceMax records).
 	Trace    bool
 	TraceMax int
+	// Counts attaches a per-kind event counter without retaining events;
+	// implied by Trace or a non-empty Sinks.
+	Counts bool
+	// Sinks are additional telemetry consumers (e.g. a trace.JSONL
+	// exporter) attached for the whole run.
+	Sinks []trace.Sink
 }
 
 // Run executes the scenario and returns its results.
@@ -195,6 +205,8 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 	}
 	sys := core.NewSystem(cfg)
 
+	// Attach sinks before building the guests so admission events from
+	// VCPU creation are observed too.
 	var rec *trace.Recorder
 	if opts.Trace {
 		max := opts.TraceMax
@@ -202,7 +214,13 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 			max = 1 << 20
 		}
 		rec = &trace.Recorder{Max: max}
-		sys.Host.SetTracer(trace.NewHostTracer(rec))
+		sys.Host.TraceTo(rec)
+	}
+	sys.Host.TraceTo(opts.Sinks...)
+	var counts *trace.Counts
+	if opts.Trace || opts.Counts || len(opts.Sinks) > 0 {
+		counts = &trace.Counts{}
+		sys.Host.TraceTo(counts)
 	}
 
 	type bound struct {
@@ -269,6 +287,9 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 		AllocatedBW: sys.AllocatedBandwidth(),
 		Overhead:    sys.Overhead(),
 		Trace:       rec,
+	}
+	if counts != nil {
+		res.Events = *counts
 	}
 	for _, b := range all {
 		kind := b.spec.Kind

@@ -20,6 +20,7 @@ import (
 
 	"rtvirt/internal/hv"
 	"rtvirt/internal/simtime"
+	"rtvirt/internal/trace"
 )
 
 // Priority bands, highest first.
@@ -172,6 +173,10 @@ func (s *Scheduler) account(now simtime.Time) {
 			if st.credits > share {
 				st.credits = share
 			}
+			if s.h.Tracing() {
+				s.h.Emit(trace.Event{At: now, Kind: trace.Replenish, PCPU: -1,
+					VM: v.VM.Name, VCPU: v.Index, Arg: int64(share)})
+			}
 		}
 		// Capped VCPUs that were parked may run again.
 		for _, p := range s.h.PCPUs() {
@@ -205,8 +210,14 @@ func (s *Scheduler) settle(v *hv.VCPU, now simtime.Time) {
 	if st.runningOn < 0 {
 		return
 	}
+	had := st.credits > 0
 	st.credits -= now.Sub(st.lastAt)
 	st.lastAt = now
+	// The UNDER→OVER transition is Credit's budget-exhaustion moment.
+	if had && st.credits <= 0 && s.h.Tracing() {
+		s.h.Emit(trace.Event{At: now, Kind: trace.Deplete, PCPU: st.runningOn,
+			VM: v.VM.Name, VCPU: v.Index})
+	}
 }
 
 // prio computes the VCPU's current priority band; parked (capped-out)

@@ -29,6 +29,7 @@ import (
 	"rtvirt/internal/eventq"
 	"rtvirt/internal/hv"
 	"rtvirt/internal/simtime"
+	"rtvirt/internal/trace"
 )
 
 // Trace enables debug logging of slice layouts and decisions.
@@ -278,18 +279,34 @@ func (s *Scheduler) RemoveVCPU(v *hv.VCPU, now simtime.Time) {
 // UpdateVCPU implements hv.HostScheduler.
 func (s *Scheduler) UpdateVCPU(v *hv.VCPU, res hv.Reservation, now simtime.Time) error {
 	if !res.Valid() {
+		s.emitVerdict(v, res, now, false)
 		return fmt.Errorf("dpwrap: %w: invalid reservation %v", hv.ErrAdmission, res)
 	}
 	if v.RT && res.Bandwidth() > v.Res.Bandwidth() &&
 		s.rtBandwidth(v, res) > s.capacity()+1e-9 {
+		s.emitVerdict(v, res, now, false)
 		return fmt.Errorf("dpwrap: %w: bandwidth %0.3f exceeds capacity %0.3f",
 			hv.ErrAdmission, s.rtBandwidth(v, res), s.capacity())
 	}
+	s.emitVerdict(v, res, now, true)
 	v.Res = res
 	if s.started {
 		s.replanKick(now)
 	}
 	return nil
+}
+
+// emitVerdict reports the admission decision for a reservation change.
+func (s *Scheduler) emitVerdict(v *hv.VCPU, res hv.Reservation, now simtime.Time, ok bool) {
+	if !s.h.Tracing() {
+		return
+	}
+	kind := trace.Reject
+	if ok {
+		kind = trace.Admit
+	}
+	s.h.Emit(trace.Event{At: now, Kind: kind, PCPU: -1,
+		VM: v.VM.Name, VCPU: v.Index, Arg: int64(res.Budget)})
 }
 
 // HandleHypercall implements hv.CrossLayer: the sched_rtvirt() interface.
@@ -528,6 +545,12 @@ func (s *Scheduler) allocFor(v *hv.VCPU, slice simtime.Duration) simtime.Duratio
 	num := int64(slice)*budget + s.carry[v]
 	alloc := num / int64(v.Res.Period)
 	s.carry[v] = num % int64(v.Res.Period)
+	// allocFor runs once per RT VCPU per rebuild, so this is the single
+	// place every slice-quota grant passes through.
+	if alloc > 0 && s.h.Tracing() {
+		s.h.Emit(trace.Event{At: s.sliceStart, Kind: trace.Replenish, PCPU: -1,
+			VM: v.VM.Name, VCPU: v.Index, Arg: alloc})
+	}
 	return simtime.Duration(alloc)
 }
 
@@ -569,6 +592,11 @@ func (s *Scheduler) chargeRun(ps *pcpuState, now simtime.Time) {
 		panic("dpwrap: time went backwards in chargeRun")
 	}
 	if elapsed >= ps.lastEntry.remaining {
+		if ps.lastEntry.remaining > 0 && s.h.Tracing() {
+			e := ps.lastEntry
+			s.h.Emit(trace.Event{At: now, Kind: trace.Deplete, PCPU: e.pcpu,
+				VM: e.v.VM.Name, VCPU: e.v.Index})
+		}
 		ps.lastEntry.remaining = 0
 	} else {
 		ps.lastEntry.remaining -= elapsed

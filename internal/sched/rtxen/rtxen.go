@@ -24,6 +24,7 @@ import (
 	"rtvirt/internal/eventq"
 	"rtvirt/internal/hv"
 	"rtvirt/internal/simtime"
+	"rtvirt/internal/trace"
 )
 
 // Config tunes the scheduler.
@@ -206,6 +207,10 @@ func (s *Scheduler) replenish(v *hv.VCPU, now simtime.Time) {
 	s.chargeIfRunning(v, now)
 	st.budget = v.Res.Budget
 	st.deadline = now.Add(v.Res.Period)
+	if s.h.Tracing() {
+		s.h.Emit(trace.Event{At: now, Kind: trace.Replenish, PCPU: -1,
+			VM: v.VM.Name, VCPU: v.Index, Arg: int64(v.Res.Budget)})
+	}
 	s.resort(v)
 	st.replEv = s.h.Sim.At(st.deadline, func(at simtime.Time) { s.replenish(v, at) })
 	// A replenished server may now outrank a running one.
@@ -231,6 +236,10 @@ func (s *Scheduler) chargeIfRunning(v *hv.VCPU, now simtime.Time) {
 	}
 	elapsed := now.Sub(st.lastAt)
 	if elapsed >= st.budget {
+		if st.budget > 0 && s.h.Tracing() {
+			s.h.Emit(trace.Event{At: now, Kind: trace.Deplete, PCPU: st.runningOn,
+				VM: v.VM.Name, VCPU: v.Index})
+		}
 		st.budget = 0
 	} else {
 		st.budget -= elapsed

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"testing"
+
+	"rtvirt/internal/simtime"
+)
+
+// The disabled path is the default for every experiment sweep, so it must
+// be free: emitting on a Bus with no sinks performs zero allocations.
+// CI runs this test explicitly as the zero-alloc guard.
+func TestTracerDisabledZeroAlloc(t *testing.T) {
+	var bus Bus
+	if bus.Active() {
+		t.Fatal("zero-value Bus reports active")
+	}
+	ev := Event{At: simtime.Time(simtime.Millis(1)), Kind: Dispatch, PCPU: 0, VM: "vm0", Arg: 42}
+	if n := testing.AllocsPerRun(1000, func() { bus.Emit(ev) }); n != 0 {
+		t.Fatalf("disabled Emit allocates %.1f allocs/op, want 0", n)
+	}
+
+	// The enabled path with a counting sink stays allocation-free too, so
+	// sweeps can afford per-arm event counts.
+	var c Counts
+	bus.Attach(&c)
+	if n := testing.AllocsPerRun(1000, func() { bus.Emit(ev) }); n != 0 {
+		t.Fatalf("counting Emit allocates %.1f allocs/op, want 0", n)
+	}
+	if c.Total() == 0 {
+		t.Fatal("counting sink saw no events")
+	}
+	bus.Reset()
+	if bus.Active() {
+		t.Fatal("Reset did not disable the bus")
+	}
+}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Counts is a per-kind event counter. It is both a Sink (attach a *Counts
+// to a Bus) and a plain value that merges deterministically: the parallel
+// runner returns per-run Counts in input order, and Merge is commutative
+// over uint64 addition, so sweep totals are identical at any worker count.
+type Counts [NumKinds]uint64
+
+// Consume implements Sink.
+func (c *Counts) Consume(ev Event) {
+	if int(ev.Kind) < NumKinds {
+		c[ev.Kind]++
+	}
+}
+
+// Merge adds other's counters into c.
+func (c *Counts) Merge(other Counts) {
+	for i := range c {
+		c[i] += other[i]
+	}
+}
+
+// Total is the number of events counted across all kinds.
+func (c Counts) Total() uint64 {
+	var n uint64
+	for _, v := range c {
+		n += v
+	}
+	return n
+}
+
+// Hypercalls sums the three sched_rtvirt() hypercall kinds.
+func (c Counts) Hypercalls() uint64 {
+	return c[HypercallIncBW] + c[HypercallDecBW] + c[HypercallIncDecBW]
+}
+
+// String renders the non-zero counters as "kind=n" pairs in kind order.
+func (c Counts) String() string {
+	var b strings.Builder
+	for i, v := range c {
+		if v == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", Kind(i), v)
+	}
+	if b.Len() == 0 {
+		return "(no events)"
+	}
+	return b.String()
+}

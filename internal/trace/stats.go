@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"rtvirt/internal/metrics"
+	"rtvirt/internal/simtime"
+)
+
+// statKinds are the kinds whose Arg is a duration worth summarising as a
+// distribution (response times, lateness, grants, budgets). Count-only
+// kinds (migrations, depletes, guest switches, admissions) are covered by
+// the Counts half of the sink.
+var statKinds = [NumKinds]bool{
+	Dispatch:  true,
+	Preempt:   true,
+	JobDone:   true,
+	JobMiss:   true,
+	Replenish: true,
+}
+
+// StatsSink streams events into per-kind counters and P² quantile
+// estimators over Arg. It holds O(kinds) memory regardless of run length,
+// so it can stay attached for arbitrarily long simulations where a
+// Recorder would hit its cap.
+type StatsSink struct {
+	// Quantile is the tracked quantile in (0,1); zero means 0.99.
+	Quantile float64
+
+	counts Counts
+	q      [NumKinds]*metrics.P2Quantile
+}
+
+// NewStatsSink returns a sink tracking the given quantile (0 → 0.99).
+func NewStatsSink(quantile float64) *StatsSink {
+	return &StatsSink{Quantile: quantile}
+}
+
+// Consume implements Sink.
+func (s *StatsSink) Consume(ev Event) {
+	if int(ev.Kind) >= NumKinds {
+		return
+	}
+	s.counts[ev.Kind]++
+	if !statKinds[ev.Kind] {
+		return
+	}
+	est := s.q[ev.Kind]
+	if est == nil {
+		q := s.Quantile
+		if q <= 0 || q >= 1 {
+			q = 0.99
+		}
+		est = metrics.NewP2Quantile(q)
+		s.q[ev.Kind] = est
+	}
+	est.Add(simtime.Duration(ev.Arg))
+}
+
+// Counts returns the per-kind counters accumulated so far.
+func (s *StatsSink) Counts() Counts { return s.counts }
+
+// ArgQuantile returns the current quantile estimate of Arg for kind k and
+// whether any samples were seen.
+func (s *StatsSink) ArgQuantile(k Kind) (simtime.Duration, bool) {
+	est := s.q[k]
+	if est == nil || est.Count() == 0 {
+		return 0, false
+	}
+	return est.Value(), true
+}
+
+// Report writes a per-kind table: count, and for duration-bearing kinds
+// the tracked quantile of Arg.
+func (s *StatsSink) Report(w io.Writer) error {
+	q := s.Quantile
+	if q <= 0 || q >= 1 {
+		q = 0.99
+	}
+	if _, err := fmt.Fprintf(w, "%-14s %10s %14s\n", "kind", "count", fmt.Sprintf("p%g(arg)", 100*q)); err != nil {
+		return err
+	}
+	for i := 0; i < NumKinds; i++ {
+		if s.counts[i] == 0 {
+			continue
+		}
+		line := fmt.Sprintf("%-14s %10d", Kind(i), s.counts[i])
+		if v, ok := s.ArgQuantile(Kind(i)); ok {
+			line += fmt.Sprintf(" %14v", v)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

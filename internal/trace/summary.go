@@ -46,8 +46,14 @@ type Summary struct {
 	VCPUs map[string]*VCPUSummary
 	// PCPUs is indexed by physical CPU id.
 	PCPUs []PCPUSummary
-	// Migrations is the host-wide migration total.
+	// Migrations is the host-wide migration total, derived from the
+	// dispatch sequence (so it also works on dispatch-only traces).
 	Migrations int
+	// Events tallies every retained event by kind.
+	Events Counts
+	// Dropped is the number of events the recorder's cap discarded; the
+	// digest above covers only the retained prefix when it is non-zero.
+	Dropped int
 }
 
 // Summarize digests the recorder's records. Open run intervals (a VCPU
@@ -55,10 +61,11 @@ type Summary struct {
 // timestamp, so totals never exceed the observed window.
 func Summarize(r *Recorder) Summary {
 	recs := r.Records()
-	s := Summary{VCPUs: map[string]*VCPUSummary{}}
+	s := Summary{VCPUs: map[string]*VCPUSummary{}, Dropped: r.Dropped()}
 	if len(recs) == 0 {
 		return s
 	}
+	s.Events = r.Counts()
 	s.From = recs[0].At
 	s.To = recs[len(recs)-1].At
 
@@ -173,6 +180,11 @@ func (s Summary) Write(w io.Writer) error {
 		}
 		fmt.Fprintf(w, "pcpu%-16d %12v %5.1f%% %10d\n", p.PCPU, p.Busy, pct, p.Dispatches)
 	}
-	_, err := fmt.Fprintf(w, "host migrations: %d\n", s.Migrations)
+	fmt.Fprintf(w, "host migrations: %d\n", s.Migrations)
+	fmt.Fprintf(w, "events: %s\n", s.Events)
+	var err error
+	if s.Dropped > 0 {
+		_, err = fmt.Fprintf(w, "dropped: %d events past the recorder cap (digest covers the retained prefix only)\n", s.Dropped)
+	}
 	return err
 }

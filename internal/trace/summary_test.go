@@ -23,7 +23,7 @@ func TestSummarizeHandBuiltTrace(t *testing.T) {
 	rec.Add(trace.Record{At: simtime.Time(ms(2)), Kind: trace.JobDone, PCPU: 1, VM: "vm-b", VCPU: 0, Task: "x"})
 	rec.Add(trace.Record{At: simtime.Time(ms(2)), Kind: trace.Dispatch, PCPU: 1}) // idle
 	rec.Add(trace.Record{At: simtime.Time(ms(4)), Kind: trace.Dispatch, PCPU: 0, VM: "vm-b", VCPU: 0})
-	rec.Add(trace.Record{At: simtime.Time(ms(10)), Kind: trace.JobMiss, PCPU: 0, VM: "vm-b", VCPU: 0, Task: "x", Late: ms(1)})
+	rec.Add(trace.Record{At: simtime.Time(ms(10)), Kind: trace.JobMiss, PCPU: 0, VM: "vm-b", VCPU: 0, Task: "x", Arg: int64(ms(1))})
 
 	s := trace.Summarize(rec)
 	if s.Window() != ms(10) {
@@ -68,7 +68,7 @@ func TestSummarizeMatchesKernelAccounting(t *testing.T) {
 	cfg.Costs = hv.CostModel{} // zero overhead: trace and meters align
 	sys := core.NewSystem(cfg)
 	rec := &trace.Recorder{}
-	sys.Host.SetTracer(trace.NewHostTracer(rec))
+	sys.Host.TraceTo(rec)
 	g, err := sys.NewGuest("vm", 1)
 	if err != nil {
 		t.Fatal(err)
@@ -119,9 +119,25 @@ func TestSummaryWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"vm/0", "pcpu0", "host migrations: 0"} {
+	for _, want := range []string{"vm/0", "pcpu0", "host migrations: 0", "events: dispatch=1 job-done=1"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("summary output missing %q:\n%s", want, out)
 		}
+	}
+	if strings.Contains(out, "dropped:") {
+		t.Fatalf("summary reports drops with no cap:\n%s", out)
+	}
+}
+
+func TestSummaryWriteDropped(t *testing.T) {
+	rec := &trace.Recorder{Max: 1, Logf: func(string, ...any) {}}
+	rec.Add(trace.Record{At: 0, Kind: trace.Dispatch, PCPU: 0, VM: "vm", VCPU: 0})
+	rec.Add(trace.Record{At: simtime.Time(ms(5)), Kind: trace.JobDone, PCPU: 0, VM: "vm", VCPU: 0})
+	var buf bytes.Buffer
+	if err := trace.Summarize(rec).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dropped: 1 events past the recorder cap") {
+		t.Fatalf("summary missing dropped-count line:\n%s", buf.String())
 	}
 }

@@ -54,7 +54,7 @@ func (r *Recorder) WriteSVG(w io.Writer, pcpus int, from, to simtime.Time) error
 		}
 	}
 	var misses []Record
-	for _, rec := range r.records {
+	for _, rec := range r.events {
 		if rec.At > to {
 			break
 		}
@@ -113,7 +113,7 @@ func (r *Recorder) WriteSVG(w io.Writer, pcpus int, from, to simtime.Time) error
 		}
 		y := marginT + float64(p)*(laneHeight+laneGap)
 		fmt.Fprintf(w, `<line x1="%.2f" y1="%.1f" x2="%.2f" y2="%.1f" stroke="red" stroke-width="2"><title>miss: %s (+%v)</title></line>`+"\n",
-			x(m.At), y-6, x(m.At), y+2, m.Task, m.Late)
+			x(m.At), y-6, x(m.At), y+2, m.Task, m.ArgDuration())
 	}
 	// Time axis.
 	axisY := marginT + float64(pcpus)*(laneHeight+laneGap)

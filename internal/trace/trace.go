@@ -1,6 +1,9 @@
-// Package trace records scheduling events — dispatches, preemptions, job
-// completions — so a run can be inspected offline or rendered as a
-// Gantt-style timeline (the raw material of the paper's Figure 1).
+// Package trace is the simulator's observability pipeline: typed telemetry
+// events (Event) flow from every decision-making layer — the hypervisor
+// kernel, the host schedulers, the guest OS — through a Bus to pluggable
+// sinks (Recorder, Counts, StatsSink, JSONL). The disabled path is free:
+// an empty Bus emits nothing and allocates nothing, so instrumentation
+// stays wired in even under the parallel experiment runner.
 package trace
 
 import (
@@ -8,80 +11,80 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"strconv"
 
 	"rtvirt/internal/simtime"
 )
 
-// Kind classifies a trace record.
-type Kind string
-
-// Record kinds.
-const (
-	// Dispatch: a VCPU started running on a PCPU (VCPU empty = idle).
-	Dispatch Kind = "dispatch"
-	// JobDone: a job finished on a VCPU.
-	JobDone Kind = "job-done"
-	// JobMiss: a job finished after its deadline.
-	JobMiss Kind = "job-miss"
-)
-
-// Record is one scheduling event.
-type Record struct {
-	At   simtime.Time `json:"at_ns"`
-	Kind Kind         `json:"kind"`
-	PCPU int          `json:"pcpu"`
-	VM   string       `json:"vm,omitempty"`
-	VCPU int          `json:"vcpu,omitempty"`
-	Task string       `json:"task,omitempty"`
-	// Late is the lateness of a missed job.
-	Late simtime.Duration `json:"late_ns,omitempty"`
-}
-
-// Recorder accumulates records up to a configurable cap. The zero value is
-// ready to use with an unbounded buffer.
+// Recorder is a Sink that retains events in order up to a configurable
+// cap. The zero value is ready to use with an unbounded buffer.
 type Recorder struct {
-	// Max bounds the number of retained records (0 = unbounded). When
-	// full, further records are counted but dropped.
+	// Max bounds the number of retained events (0 = unbounded). When
+	// full, further events are counted but dropped, and a single
+	// narrator line is logged so truncation is never silent.
 	Max int
+	// Logf, when set, replaces log.Printf for the truncation notice
+	// (tests use it to keep output quiet).
+	Logf func(format string, args ...any)
 
-	records []Record
+	events  []Event
 	dropped int
 }
 
-// Add appends a record, honouring the cap.
-func (r *Recorder) Add(rec Record) {
-	if r.Max > 0 && len(r.records) >= r.Max {
+// Consume implements Sink.
+func (r *Recorder) Consume(ev Event) { r.Add(ev) }
+
+// Add appends an event, honouring the cap.
+func (r *Recorder) Add(ev Event) {
+	if r.Max > 0 && len(r.events) >= r.Max {
+		if r.dropped == 0 {
+			logf := r.Logf
+			if logf == nil {
+				logf = log.Printf
+			}
+			logf("trace: recorder cap of %d events reached at %v; further events are counted but dropped", r.Max, ev.At)
+		}
 		r.dropped++
 		return
 	}
-	r.records = append(r.records, rec)
+	r.events = append(r.events, ev)
 }
 
-// Records returns the retained records in order.
-func (r *Recorder) Records() []Record { return r.records }
+// Records returns the retained events in order.
+func (r *Recorder) Records() []Event { return r.events }
 
-// Dropped reports how many records the cap discarded.
+// Dropped reports how many events the cap discarded.
 func (r *Recorder) Dropped() int { return r.dropped }
 
-// Len reports the number of retained records.
-func (r *Recorder) Len() int { return len(r.records) }
+// Len reports the number of retained events.
+func (r *Recorder) Len() int { return len(r.events) }
 
-// WriteCSV emits the trace as CSV with a header row.
+// Counts tallies the retained events per kind (dropped events excluded).
+func (r *Recorder) Counts() Counts {
+	var c Counts
+	for i := range r.events {
+		c.Consume(r.events[i])
+	}
+	return c
+}
+
+// WriteCSV emits the trace as CSV with a header row. Arg is written raw
+// (kind-specific units, typically nanoseconds).
 func (r *Recorder) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"at_us", "kind", "pcpu", "vm", "vcpu", "task", "late_us"}); err != nil {
+	if err := cw.Write([]string{"at_us", "kind", "pcpu", "vm", "vcpu", "task", "arg"}); err != nil {
 		return err
 	}
-	for _, rec := range r.records {
+	for _, ev := range r.events {
 		row := []string{
-			strconv.FormatFloat(rec.At.Micros(), 'f', 3, 64),
-			string(rec.Kind),
-			strconv.Itoa(rec.PCPU),
-			rec.VM,
-			strconv.Itoa(rec.VCPU),
-			rec.Task,
-			strconv.FormatFloat(rec.Late.Micros(), 'f', 3, 64),
+			strconv.FormatFloat(ev.At.Micros(), 'f', 3, 64),
+			ev.Kind.String(),
+			strconv.Itoa(ev.PCPU),
+			ev.VM,
+			strconv.Itoa(ev.VCPU),
+			ev.Task,
+			strconv.FormatInt(ev.Arg, 10),
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -91,10 +94,67 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// ReadCSV parses a stream written by WriteCSV back into events.
+func ReadCSV(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	events := make([]Event, 0, len(rows)-1)
+	for _, row := range rows[1:] { // skip header
+		if len(row) != 7 {
+			return nil, fmt.Errorf("trace: CSV row has %d fields, want 7", len(row))
+		}
+		atUS, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad at_us %q: %w", row[0], err)
+		}
+		kind, err := KindFromString(row[1])
+		if err != nil {
+			return nil, err
+		}
+		pcpu, err := strconv.Atoi(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad pcpu %q: %w", row[2], err)
+		}
+		vcpu, err := strconv.Atoi(row[4])
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad vcpu %q: %w", row[4], err)
+		}
+		arg, err := strconv.ParseInt(row[6], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad arg %q: %w", row[6], err)
+		}
+		events = append(events, Event{
+			At:   simtime.Time(int64(atUS * 1e3)),
+			Kind: kind,
+			PCPU: pcpu,
+			VM:   row[3],
+			VCPU: vcpu,
+			Task: row[5],
+			Arg:  arg,
+		})
+	}
+	return events, nil
+}
+
 // WriteJSON emits the trace as a JSON array.
 func (r *Recorder) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
-	return enc.Encode(r.records)
+	return enc.Encode(r.events)
+}
+
+// ReadJSON parses a stream written by WriteJSON.
+func ReadJSON(rd io.Reader) ([]Event, error) {
+	var events []Event
+	if err := json.NewDecoder(rd).Decode(&events); err != nil {
+		return nil, err
+	}
+	return events, nil
 }
 
 // Timeline renders a coarse textual Gantt chart of PCPU occupancy between
@@ -114,10 +174,10 @@ func (r *Recorder) Timeline(pcpus int, from, to simtime.Time, buckets int) strin
 	idx := 0
 	for b := 0; b < buckets; b++ {
 		bucketEnd := from.Add(simtime.ScaleDuration(span, int64(b+1), int64(buckets)))
-		for idx < len(r.records) && r.records[idx].At < bucketEnd {
-			rec := r.records[idx]
-			if rec.Kind == Dispatch && rec.PCPU >= 0 && rec.PCPU < pcpus {
-				cur[rec.PCPU] = rec.VM
+		for idx < len(r.events) && r.events[idx].At < bucketEnd {
+			ev := r.events[idx]
+			if ev.Kind == Dispatch && ev.PCPU >= 0 && ev.PCPU < pcpus {
+				cur[ev.PCPU] = ev.VM
 			}
 			idx++
 		}

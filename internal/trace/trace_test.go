@@ -1,9 +1,10 @@
-package trace
+package trace_test
 
 import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -13,24 +14,28 @@ import (
 	"rtvirt/internal/sim"
 	"rtvirt/internal/simtime"
 	"rtvirt/internal/task"
+	"rtvirt/internal/trace"
 )
 
-func ms(n int64) simtime.Duration { return simtime.Millis(n) }
-
 func TestRecorderCap(t *testing.T) {
-	r := Recorder{Max: 2}
+	var logged int
+	r := trace.Recorder{Max: 2, Logf: func(format string, args ...any) { logged++ }}
 	for i := 0; i < 5; i++ {
-		r.Add(Record{At: simtime.Time(i), Kind: Dispatch})
+		r.Add(trace.Record{At: simtime.Time(i), Kind: trace.Dispatch})
 	}
 	if r.Len() != 2 || r.Dropped() != 3 {
 		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
 	}
+	// The truncation notice fires exactly once, not per dropped event.
+	if logged != 1 {
+		t.Fatalf("truncation notice logged %d times, want 1", logged)
+	}
 }
 
 func TestWriteCSV(t *testing.T) {
-	var r Recorder
-	r.Add(Record{At: simtime.Time(ms(1)), Kind: Dispatch, PCPU: 0, VM: "vm0", VCPU: 0})
-	r.Add(Record{At: simtime.Time(ms(2)), Kind: JobMiss, PCPU: 1, VM: "vm1", Task: "t", Late: simtime.Micros(5)})
+	var r trace.Recorder
+	r.Add(trace.Record{At: simtime.Time(ms(1)), Kind: trace.Dispatch, PCPU: 0, VM: "vm0", VCPU: 0})
+	r.Add(trace.Record{At: simtime.Time(ms(2)), Kind: trace.JobMiss, PCPU: 1, VM: "vm1", Task: "t", Arg: int64(simtime.Micros(5))})
 	var buf bytes.Buffer
 	if err := r.WriteCSV(&buf); err != nil {
 		t.Fatal(err)
@@ -42,19 +47,37 @@ func TestWriteCSV(t *testing.T) {
 	if len(rows) != 3 {
 		t.Fatalf("csv rows = %d, want header + 2", len(rows))
 	}
-	if rows[2][1] != "job-miss" || rows[2][6] != "5.000" {
+	if rows[2][1] != "job-miss" || rows[2][6] != "5000" {
 		t.Fatalf("csv content wrong: %v", rows[2])
 	}
 }
 
+func TestCSVRoundTrip(t *testing.T) {
+	var r trace.Recorder
+	r.Add(trace.Record{At: simtime.Time(ms(1)), Kind: trace.Dispatch, PCPU: 0, VM: "vm0", VCPU: 1, Arg: int64(ms(2))})
+	r.Add(trace.Record{At: simtime.Time(ms(3)), Kind: trace.HypercallIncBW, PCPU: -1, VM: "vm1", Arg: int64(ms(4))})
+	r.Add(trace.Record{At: simtime.Time(ms(5)), Kind: trace.JobMiss, PCPU: 1, VM: "vm0", Task: "t", Arg: int64(simtime.Micros(7))})
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r.Records()) {
+		t.Fatalf("csv round-trip mismatch:\n got %+v\nwant %+v", got, r.Records())
+	}
+}
+
 func TestWriteJSON(t *testing.T) {
-	var r Recorder
-	r.Add(Record{At: simtime.Time(ms(1)), Kind: JobDone, VM: "vm0", Task: "x"})
+	var r trace.Recorder
+	r.Add(trace.Record{At: simtime.Time(ms(1)), Kind: trace.JobDone, VM: "vm0", Task: "x"})
 	var buf bytes.Buffer
 	if err := r.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
-	var got []Record
+	var got []trace.Record
 	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
 		t.Fatal(err)
 	}
@@ -63,13 +86,30 @@ func TestWriteJSON(t *testing.T) {
 	}
 }
 
+func TestJSONRoundTrip(t *testing.T) {
+	var r trace.Recorder
+	r.Add(trace.Record{At: simtime.Time(ms(1)), Kind: trace.Migrate, PCPU: 1, VM: "vm0", VCPU: 0, Arg: 0})
+	r.Add(trace.Record{At: simtime.Time(ms(2)), Kind: trace.Admit, PCPU: -1, VM: "vm0", VCPU: 0, Arg: int64(ms(4))})
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r.Records()) {
+		t.Fatalf("json round-trip mismatch:\n got %+v\nwant %+v", got, r.Records())
+	}
+}
+
 // runTracedScenario drives a small RTVirt run with tracing for tests.
-func runTracedScenario(t *testing.T) *Recorder {
+func runTracedScenario(t *testing.T) *trace.Recorder {
 	t.Helper()
 	s := sim.New(3)
 	h := hv.NewHost(s, 1, dpwrap.New(dpwrap.DefaultConfig()), hv.CostModel{})
-	rec := &Recorder{}
-	h.SetTracer(NewHostTracer(rec))
+	rec := &trace.Recorder{}
+	h.TraceTo(rec)
 	g, err := guest.NewOS(h, "vm0", guest.DefaultConfig(), 1)
 	if err != nil {
 		t.Fatal(err)
@@ -97,14 +137,14 @@ func TestHostTracerEndToEnd(t *testing.T) {
 		}
 		prev = r.At
 		switch r.Kind {
-		case Dispatch:
+		case trace.Dispatch:
 			dispatches++
-		case JobDone:
+		case trace.JobDone:
 			done++
 			if r.Task != "rta" || r.VM != "vm0" {
 				t.Fatalf("bad completion record: %+v", r)
 			}
-		case JobMiss:
+		case trace.JobMiss:
 			miss++
 		}
 	}
@@ -117,12 +157,16 @@ func TestHostTracerEndToEnd(t *testing.T) {
 	if dispatches < 100 {
 		t.Fatalf("dispatches recorded = %d, want ≥100", dispatches)
 	}
+	// The guest admits the task once; the verdict must be on the bus.
+	if c := rec.Counts(); c[trace.Admit] == 0 {
+		t.Fatalf("no admission events recorded: %v", c)
+	}
 }
 
 func TestTimeline(t *testing.T) {
-	var r Recorder
-	r.Add(Record{At: 0, Kind: Dispatch, PCPU: 0, VM: "vmA"})
-	r.Add(Record{At: simtime.Time(ms(5)), Kind: Dispatch, PCPU: 0, VM: "vmB"})
+	var r trace.Recorder
+	r.Add(trace.Record{At: 0, Kind: trace.Dispatch, PCPU: 0, VM: "vmA"})
+	r.Add(trace.Record{At: simtime.Time(ms(5)), Kind: trace.Dispatch, PCPU: 0, VM: "vmB"})
 	out := r.Timeline(1, 0, simtime.Time(ms(10)), 10)
 	if !strings.Contains(out, "pcpu0") {
 		t.Fatalf("timeline missing pcpu row:\n%s", out)

@@ -302,6 +302,14 @@ type (
 	TraceRecorder = trace.Recorder
 	// TraceRecord is one scheduling event.
 	TraceRecord = trace.Record
+	// TraceEvent is the typed telemetry event every layer emits.
+	TraceEvent = trace.Event
+	// TraceKind classifies a telemetry event.
+	TraceKind = trace.Kind
+	// TraceSink consumes telemetry events from the host's bus.
+	TraceSink = trace.Sink
+	// TraceCounts is a per-kind event counter sink.
+	TraceCounts = trace.Counts
 	// TraceSummary is the structural digest of a trace: per-VCPU runtime,
 	// dispatches and migrations, per-PCPU utilization.
 	TraceSummary = trace.Summary
@@ -311,10 +319,12 @@ type (
 // own accounting meters.
 func SummarizeTrace(rec *TraceRecorder) TraceSummary { return trace.Summarize(rec) }
 
-// AttachTracer records sys's scheduling events (dispatches, completions,
-// misses) into rec. Use rec.WriteCSV/WriteJSON or rec.Timeline afterwards.
+// AttachTracer records sys's scheduling events (dispatches, preemptions,
+// completions, misses, hypercalls, migrations, budget transitions) into
+// rec. Use rec.WriteCSV/WriteJSON or rec.Timeline afterwards. For custom
+// consumers attach any TraceSink with sys.Host.TraceTo.
 func AttachTracer(sys *System, rec *TraceRecorder) {
-	sys.Host.SetTracer(trace.NewHostTracer(rec))
+	sys.Host.TraceTo(rec)
 }
 
 // Multi-host extension (§6): placement and live migration.
