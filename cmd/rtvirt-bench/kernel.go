@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"rtvirt"
+	"rtvirt/internal/eventq"
+	"rtvirt/internal/simtime"
+)
+
+// Baseline numbers recorded on the pre-rewrite kernel (container/heap
+// queue with closure-per-event scheduling, commit 210b422) on an Intel
+// Xeon @ 2.10GHz — the same container class CI uses. The mix baseline ran
+// the identical operation blend with Cancel+Schedule standing in for
+// Reschedule, which the old API did not have. Wall time is the best of
+// ten sequential fig3 runs at 100 simulated seconds, interleaved with the
+// rewritten binary to cancel container noise.
+const (
+	baselineKernelMixNs   = 179.8 // median of 3 × 2s runs
+	baselineScheduleFire  = 120.6 // median of 3 × 2s runs
+	baselineFig3WallSecs  = 0.526
+	baselineAllocsPerOp   = 0
+	baselineKernelDetails = "container/heap, per-event closure, linear rtxen scan"
+)
+
+type kernelSide struct {
+	KernelMixNsPerEvent float64 `json:"kernel_mix_ns_per_event"`
+	KernelMixEventsSec  float64 `json:"kernel_mix_events_per_sec"`
+	ScheduleFireNsPerOp float64 `json:"schedule_fire_ns_per_op"`
+	Fig3WallSeconds     float64 `json:"fig3_100s_wall_seconds"`
+	AllocsPerOp         int64   `json:"allocs_per_op"`
+	Details             string  `json:"details"`
+}
+
+type kernelReport struct {
+	Bench       string     `json:"bench"`
+	GoVersion   string     `json:"go_version"`
+	Baseline    kernelSide `json:"baseline"`
+	Current     kernelSide `json:"current"`
+	Improvement struct {
+		KernelMixPct    float64 `json:"kernel_mix_pct"`
+		ScheduleFirePct float64 `json:"schedule_fire_pct"`
+		Fig3WallPct     float64 `json:"fig3_wall_pct"`
+	} `json:"improvement"`
+}
+
+// benchKernelMix is the same blend as internal/eventq's BenchmarkKernelMix:
+// per event fired, one standing handle moves (the hv per-PCPU timer), one
+// fresh event is admitted, and the head pops.
+func benchKernelMix(b *testing.B) {
+	var q eventq.Queue
+	nop := func(simtime.Time) {}
+	rng := rand.New(rand.NewSource(1))
+	standing := make([]eventq.Handle, 256)
+	for i := range standing {
+		standing[i] = q.Schedule(simtime.Time(1_000_000+i), nop)
+	}
+	now := simtime.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % len(standing)
+		standing[k] = q.Reschedule(standing[k], now+1_000_000+simtime.Time(rng.Int63n(1_000_000)))
+		q.Schedule(now+1, nop)
+		q.Fire()
+		now++
+	}
+}
+
+func benchScheduleFire(b *testing.B) {
+	var q eventq.Queue
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(simtime.Time(rng.Int63n(1<<30)), func(simtime.Time) {})
+		if q.Len() > 1024 {
+			q.Fire()
+		}
+	}
+	for q.Fire() {
+	}
+}
+
+// runKernel benchmarks the rewritten event-queue kernel against the
+// recorded pre-rewrite baseline and writes the comparison to outPath
+// (BENCH_3.json). The end-to-end leg runs Figure 3 sequentially so the
+// wall-clock delta reflects the kernel, not worker-pool scheduling.
+func runKernel(outPath string) {
+	fmt.Println("Kernel microbenchmark — intrusive 4-ary event heap")
+
+	mix := testing.Benchmark(benchKernelMix)
+	sf := testing.Benchmark(benchScheduleFire)
+
+	cfg := rtvirt.DefaultFigure3Config()
+	cfg.Seed = 1
+	cfg.Duration = 100 * rtvirt.Second
+	wall := time.Duration(1<<62 - 1)
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		rtvirt.Figure3(cfg)
+		if d := time.Since(start); d < wall {
+			wall = d
+		}
+	}
+
+	var r kernelReport
+	r.Bench = "eventq kernel mix (reschedule+schedule+fire per event)"
+	r.GoVersion = runtime.Version()
+	r.Baseline = kernelSide{
+		KernelMixNsPerEvent: baselineKernelMixNs,
+		KernelMixEventsSec:  1e9 / baselineKernelMixNs,
+		ScheduleFireNsPerOp: baselineScheduleFire,
+		Fig3WallSeconds:     baselineFig3WallSecs,
+		AllocsPerOp:         baselineAllocsPerOp,
+		Details:             baselineKernelDetails,
+	}
+	mixNs := float64(mix.NsPerOp())
+	if mixNs == 0 {
+		mixNs = float64(mix.T.Nanoseconds()) / float64(mix.N)
+	}
+	r.Current = kernelSide{
+		KernelMixNsPerEvent: mixNs,
+		KernelMixEventsSec:  1e9 / mixNs,
+		ScheduleFireNsPerOp: float64(sf.NsPerOp()),
+		Fig3WallSeconds:     wall.Seconds(),
+		AllocsPerOp:         mix.AllocsPerOp(),
+		Details:             "intrusive 4-ary heap, in-place reschedule, standing per-PCPU events",
+	}
+	pct := func(before, after float64) float64 { return 100 * (1 - after/before) }
+	r.Improvement.KernelMixPct = pct(baselineKernelMixNs, mixNs)
+	r.Improvement.ScheduleFirePct = pct(baselineScheduleFire, r.Current.ScheduleFireNsPerOp)
+	r.Improvement.Fig3WallPct = pct(baselineFig3WallSecs, r.Current.Fig3WallSeconds)
+
+	fmt.Printf("  kernel mix:    %8.1f ns/event  (baseline %.1f, %+.1f%%), %d allocs/op\n",
+		mixNs, baselineKernelMixNs, r.Improvement.KernelMixPct, r.Current.AllocsPerOp)
+	fmt.Printf("  schedule/fire: %8.1f ns/op     (baseline %.1f, %+.1f%%)\n",
+		r.Current.ScheduleFireNsPerOp, baselineScheduleFire, r.Improvement.ScheduleFirePct)
+	fmt.Printf("  fig3 @100s:    %8.3f s         (baseline %.3f, %+.1f%%)\n",
+		r.Current.Fig3WallSeconds, baselineFig3WallSecs, r.Improvement.Fig3WallPct)
+
+	buf, err := json.MarshalIndent(&r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}

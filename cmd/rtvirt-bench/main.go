@@ -35,9 +35,16 @@ func main() {
 		outDir   = flag.String("out", "", "write machine-readable artifacts (CSV/JSON) to this directory")
 		runs     = flag.Int("runs", 5, "seeds for -experiment robustness")
 		parallel = flag.Int("parallel", 0, "workers for independent simulations (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
+		kernel   = flag.Bool("kernel", false, "benchmark the event-queue kernel against the recorded pre-rewrite baseline and exit")
+		benchOut = flag.String("bench-out", "BENCH_3.json", "output path for the -kernel comparison report")
 	)
 	flag.Parse()
 	runner.SetDefault(*parallel)
+	if *kernel {
+		runner.SetDefault(1) // sequential: the wall-time leg measures the kernel, not the pool
+		runKernel(*benchOut)
+		return
+	}
 	if *outDir != "" {
 		d, err := report.NewDir(*outDir)
 		if err != nil {

@@ -5,27 +5,37 @@
 // instant fire in FIFO order of insertion so that simulation runs are fully
 // deterministic.
 //
+// The queue is an intrusive 4-ary min-heap specialized to *Event: each
+// record carries its own heap index, so there is no container/heap
+// indirection and no interface boxing on the hot path, and a pending event
+// can be moved in place (Reschedule) with a single sift instead of a
+// cancel plus a fresh insert. The 4-ary layout halves the tree depth of a
+// binary heap; the extra child comparisons per level are cheap linear
+// scans over adjacent pointers.
+//
 // Event records are pooled on a per-queue free list and reused across
 // Schedule calls, so the steady-state hot path (schedule → fire →
 // reschedule) allocates nothing. Cancellation is lazy: Cancel marks the
 // event as a tombstone and leaves it in the heap; tombstones are discarded
-// when they surface at the top (PeekTime/Fire) or when a compaction pass
-// rebuilds the heap. Because records are recycled, callers hold a
-// generation-checked Handle rather than a raw pointer — a Handle to an
-// event that has fired, been cancelled, or been reused is simply inert.
+// when they surface at the root or when a compaction pass rebuilds the
+// heap. The root is kept live at all times (tombstones are popped the
+// moment they surface), which makes PeekTime a plain field read. Because
+// records are recycled, callers hold a generation-checked Handle rather
+// than a raw pointer — a Handle to an event that has fired, been
+// cancelled, or been reused is simply inert.
 package eventq
 
-import (
-	"container/heap"
-
-	"rtvirt/internal/simtime"
-)
+import "rtvirt/internal/simtime"
 
 const (
 	statePending   byte = iota // queued, will fire
 	stateTombstone             // cancelled, still occupying a heap slot
 	stateFree                  // recycled onto the free list
 )
+
+// arity is the heap fan-out. Children of node i are arity*i+1 ...
+// arity*i+arity; the parent of node i is (i-1)/arity.
+const arity = 4
 
 // Event is the pooled internal record for one scheduled callback. Callers
 // never hold an *Event directly; they hold a Handle.
@@ -34,14 +44,16 @@ type Event struct {
 	seq   uint64 // insertion order tiebreak
 	gen   uint64 // bumped on every recycle; validates Handles
 	fn    func(now simtime.Time)
+	idx   int32 // position in the owning queue's heap; -1 when not queued
 	state byte
 }
 
 // Handle identifies one scheduled event. The zero Handle is valid and
 // inert: Active reports false and Cancel is a no-op. A Handle goes inert
-// the moment its event fires or is cancelled — even if the underlying
-// record is later reused for an unrelated event, the generation check
-// keeps the old Handle from touching it.
+// the moment its event fires, is cancelled, or is rescheduled (Reschedule
+// returns the replacement) — even if the underlying record is later reused
+// for an unrelated event, the generation check keeps the old Handle from
+// touching it.
 type Handle struct {
 	e   *Event
 	gen uint64
@@ -64,8 +76,12 @@ func (h Handle) At() simtime.Time {
 // Queue is a time-ordered queue of events. The zero value is ready to use.
 // A Queue (like the simulator it drives) is single-threaded; concurrent
 // simulation runs each own their own Queue.
+//
+// Invariant: when the heap is non-empty its root is a live (pending)
+// event. Every mutation that could surface a tombstone at the root pops it
+// immediately, so PeekTime and Fire never have to search.
 type Queue struct {
-	h    eventHeap
+	h    []*Event
 	free []*Event // recycled records, bounded by peak live events
 	seq  uint64
 	live int // pending (non-tombstone) events
@@ -73,6 +89,14 @@ type Queue struct {
 
 // Len reports the number of live events in the queue.
 func (q *Queue) Len() int { return q.live }
+
+// less orders events by (time, insertion sequence).
+func less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
 
 // Schedule enqueues fn to run at instant at and returns a Handle that can
 // be used to cancel it.
@@ -90,8 +114,13 @@ func (q *Queue) Schedule(at simtime.Time, fn func(now simtime.Time)) Handle {
 	}
 	e.at, e.fn, e.seq, e.state = at, fn, q.seq, statePending
 	q.seq++
-	heap.Push(&q.h, e)
+	q.h = append(q.h, e)
+	q.siftUp(len(q.h) - 1)
 	q.live++
+	// Tombstones accumulate without any Cancel running when fires shrink
+	// the live population; checking here too keeps the heap length bounded
+	// by max(64, 2×live) no matter how operations interleave.
+	q.maybeCompact()
 	return Handle{e: e, gen: e.gen}
 }
 
@@ -106,13 +135,48 @@ func (q *Queue) Cancel(h Handle) {
 	e.state = stateTombstone
 	e.fn = nil
 	q.live--
+	if e.idx == 0 {
+		// Keep the root live so PeekTime stays a field read.
+		q.fixRoot()
+		return
+	}
 	q.maybeCompact()
 }
 
+// Reschedule moves a still-pending event to instant at, keeping its
+// callback, and returns the replacement Handle (the one passed in goes
+// inert). It is semantically identical to Cancel followed by Schedule with
+// the same callback — in particular the event is assigned a fresh
+// insertion sequence number, so among events scheduled for the same
+// instant it fires after those already queued, exactly as a fresh insert
+// would. Unlike the cancel/insert round trip it leaves no tombstone and
+// performs a single in-place sift (decrease- or increase-key).
+//
+// Rescheduling an inactive Handle panics: the callback of a fired or
+// cancelled event is gone, so there is nothing to move — callers that can
+// race a firing check Active first.
+func (q *Queue) Reschedule(h Handle, at simtime.Time) Handle {
+	if !h.Active() {
+		panic("eventq: Reschedule of inactive handle")
+	}
+	e := h.e
+	e.gen++ // invalidate the old handle, as cancel+schedule would
+	e.at = at
+	e.seq = q.seq
+	q.seq++
+	i := int(e.idx)
+	q.siftUp(i)
+	if int(e.idx) == i {
+		q.siftDown(i)
+	}
+	// An increase-key at the root pulls a child up; it may be a tombstone.
+	q.fixRoot()
+	return Handle{e: e, gen: e.gen}
+}
+
 // PeekTime reports the firing time of the earliest live event, or
-// simtime.Never when the queue is empty.
+// simtime.Never when the queue is empty. O(1): the root is always live.
 func (q *Queue) PeekTime() simtime.Time {
-	q.drain()
 	if len(q.h) == 0 {
 		return simtime.Never
 	}
@@ -122,13 +186,16 @@ func (q *Queue) PeekTime() simtime.Time {
 // Fire pops the earliest live event and invokes its callback with now set
 // to the event's scheduled time. It reports false when the queue is empty.
 // The event record is recycled before the callback runs, so a callback
-// that immediately reschedules reuses it without allocating.
+// that immediately reschedules reuses it without allocating. Tombstone
+// skipping is folded into the pop: the root is live by invariant, so Fire
+// is a single heap descent (plus one per tombstone that the descent
+// surfaces, which is the work that removes it).
 func (q *Queue) Fire() bool {
-	q.drain()
 	if len(q.h) == 0 {
 		return false
 	}
-	e := heap.Pop(&q.h).(*Event)
+	e := q.removeRoot()
+	q.fixRoot()
 	q.live--
 	at, fn := e.at, e.fn
 	q.recycle(e)
@@ -136,16 +203,85 @@ func (q *Queue) Fire() bool {
 	return true
 }
 
-// drain discards tombstones sitting at the top of the heap.
-func (q *Queue) drain() {
-	for len(q.h) > 0 && q.h[0].state == stateTombstone {
-		q.recycle(heap.Pop(&q.h).(*Event))
+// removeRoot detaches the heap root and restores heap shape (one descent).
+func (q *Queue) removeRoot() *Event {
+	e := q.h[0]
+	n := len(q.h) - 1
+	last := q.h[n]
+	q.h[n] = nil
+	q.h = q.h[:n]
+	if n > 0 {
+		q.h[0] = last
+		last.idx = 0
+		q.siftDown(0)
 	}
+	e.idx = -1
+	return e
+}
+
+// fixRoot discards tombstones sitting at the root, restoring the live-root
+// invariant.
+func (q *Queue) fixRoot() {
+	for len(q.h) > 0 && q.h[0].state == stateTombstone {
+		q.recycle(q.removeRoot())
+	}
+}
+
+// siftUp moves the event at index i toward the root until its parent is
+// not larger. Displaced ancestors shift down one level each; the moving
+// event is written once at its final slot.
+func (q *Queue) siftUp(i int) {
+	e := q.h[i]
+	for i > 0 {
+		p := (i - 1) / arity
+		pe := q.h[p]
+		if !less(e, pe) {
+			break
+		}
+		q.h[i] = pe
+		pe.idx = int32(i)
+		i = p
+	}
+	q.h[i] = e
+	e.idx = int32(i)
+}
+
+// siftDown moves the event at index i toward the leaves until no child is
+// smaller.
+func (q *Queue) siftDown(i int) {
+	e := q.h[i]
+	n := len(q.h)
+	for {
+		c := arity*i + 1
+		if c >= n {
+			break
+		}
+		end := c + arity
+		if end > n {
+			end = n
+		}
+		m := c
+		mc := q.h[c]
+		for j := c + 1; j < end; j++ {
+			if less(q.h[j], mc) {
+				m, mc = j, q.h[j]
+			}
+		}
+		if !less(mc, e) {
+			break
+		}
+		q.h[i] = mc
+		mc.idx = int32(i)
+		i = m
+	}
+	q.h[i] = e
+	e.idx = int32(i)
 }
 
 // maybeCompact rebuilds the heap from live events when tombstones dominate
 // it, bounding memory for workloads that cancel far-future events faster
-// than the clock reaches them.
+// than the clock reaches them. Both Cancel and Schedule run the check, so
+// the bound holds under any interleaving of the two.
 func (q *Queue) maybeCompact() {
 	if len(q.h) < 64 || q.live*2 >= len(q.h) {
 		return
@@ -162,7 +298,15 @@ func (q *Queue) maybeCompact() {
 		q.h[i] = nil
 	}
 	q.h = kept
-	heap.Init(&q.h)
+	n := len(kept)
+	for i, e := range kept {
+		e.idx = int32(i)
+	}
+	if n > 1 {
+		for i := (n - 2) / arity; i >= 0; i-- {
+			q.siftDown(i)
+		}
+	}
 }
 
 // recycle returns a record to the free list, invalidating outstanding
@@ -171,29 +315,6 @@ func (q *Queue) recycle(e *Event) {
 	e.gen++
 	e.fn = nil
 	e.state = stateFree
+	e.idx = -1
 	q.free = append(q.free, e)
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
 }

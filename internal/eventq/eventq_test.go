@@ -313,6 +313,151 @@ func TestQuickCancelConsistency(t *testing.T) {
 	}
 }
 
+func TestRescheduleMovesEventInPlace(t *testing.T) {
+	var q Queue
+	var fired []simtime.Time
+	record := func(now simtime.Time) { fired = append(fired, now) }
+	h := q.Schedule(100, record)
+	q.Schedule(60, record)
+
+	h2 := q.Reschedule(h, 50) // decrease-key past the other event
+	if h.Active() {
+		t.Fatal("old handle still active after Reschedule")
+	}
+	if !h2.Active() || h2.At() != 50 {
+		t.Fatalf("new handle At = %v, want 50", h2.At())
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (reschedule must not grow the queue)", q.Len())
+	}
+	if q.PeekTime() != 50 {
+		t.Fatalf("PeekTime = %v, want 50", q.PeekTime())
+	}
+	h3 := q.Reschedule(h2, 70) // increase-key back past it
+	for q.Fire() {
+	}
+	if len(fired) != 2 || fired[0] != 60 || fired[1] != 70 {
+		t.Fatalf("fired %v, want [60 70]", fired)
+	}
+	if h3.Active() {
+		t.Fatal("handle still active after firing")
+	}
+}
+
+// Reschedule must behave exactly like Cancel+Schedule for same-instant
+// FIFO ordering: the moved event takes a fresh insertion sequence number,
+// so it fires after events already queued for that instant.
+func TestRescheduleFIFOSemantics(t *testing.T) {
+	var q Queue
+	var got []string
+	a := q.Schedule(10, func(simtime.Time) { got = append(got, "a") })
+	q.Schedule(10, func(simtime.Time) { got = append(got, "b") })
+	q.Reschedule(a, 10) // same instant: a now ranks after b
+	for q.Fire() {
+	}
+	if len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Fatalf("fire order %v, want [b a]", got)
+	}
+}
+
+func TestRescheduleInactivePanics(t *testing.T) {
+	var q Queue
+	h := q.Schedule(1, func(simtime.Time) {})
+	q.Fire()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reschedule of a fired handle did not panic")
+		}
+	}()
+	q.Reschedule(h, 2)
+}
+
+// Rescheduling the root to a later time sifts a child up; if that child is
+// a tombstone it must be discarded immediately so PeekTime (a plain field
+// read) stays truthful.
+func TestRescheduleRootPastTombstone(t *testing.T) {
+	var q Queue
+	var fired []simtime.Time
+	record := func(now simtime.Time) { fired = append(fired, now) }
+	a := q.Schedule(1, record)
+	b := q.Schedule(2, record)
+	q.Schedule(3, record)
+	q.Cancel(b) // tombstone below the root
+	q.Reschedule(a, 5)
+	if q.PeekTime() != 3 {
+		t.Fatalf("PeekTime = %v, want 3 (tombstone must not surface)", q.PeekTime())
+	}
+	for q.Fire() {
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 5 {
+		t.Fatalf("fired %v, want [3 5]", fired)
+	}
+}
+
+// Fire must skip tombstones that surface during its descent without a
+// separate drain pass, and cancelling the head must advance PeekTime
+// immediately.
+func TestFireSkipsTombstoneChain(t *testing.T) {
+	var q Queue
+	var fired []simtime.Time
+	record := func(now simtime.Time) { fired = append(fired, now) }
+	var hs []Handle
+	for i := 1; i <= 8; i++ {
+		hs = append(hs, q.Schedule(simtime.Time(i), record))
+	}
+	// Tombstone a contiguous chain 2..6 behind the live head.
+	for _, h := range hs[1:6] {
+		q.Cancel(h)
+	}
+	if q.PeekTime() != 1 {
+		t.Fatalf("PeekTime = %v, want 1", q.PeekTime())
+	}
+	if !q.Fire() { // pops 1; the tombstone chain folds into this pop
+		t.Fatal("Fire returned false")
+	}
+	if q.PeekTime() != 7 {
+		t.Fatalf("PeekTime after fold = %v, want 7", q.PeekTime())
+	}
+	for q.Fire() {
+	}
+	want := []simtime.Time{1, 7, 8}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+// Regression: with compaction triggered only from Cancel, fires can shrink
+// the live population far below half the heap without any cancel running
+// the check, and a subsequent Schedule would grow the heap past the
+// 2×live bound. Schedule must run the check too.
+func TestScheduleTriggersCompaction(t *testing.T) {
+	var q Queue
+	nop := func(simtime.Time) {}
+	var hs []Handle
+	for i := 0; i < 400; i++ {
+		hs = append(hs, q.Schedule(simtime.Time(1000+i), nop))
+	}
+	// Tombstone the far half (never the head, so nothing pops eagerly);
+	// 2×live == len exactly, so no Cancel-side compaction runs.
+	for _, h := range hs[200:] {
+		q.Cancel(h)
+	}
+	// Fires shrink live without running any compaction check.
+	for i := 0; i < 120; i++ {
+		q.Fire()
+	}
+	q.Schedule(1_000_000, nop) // must notice the tombstone excess
+	if bound := 2 * q.Len(); len(q.h) >= 64 && len(q.h) > bound {
+		t.Fatalf("heap holds %d slots for %d live events (bound %d); Schedule did not compact",
+			len(q.h), q.Len(), bound)
+	}
+}
+
 func BenchmarkScheduleFire(b *testing.B) {
 	var q Queue
 	rng := rand.New(rand.NewSource(1))
@@ -324,6 +469,33 @@ func BenchmarkScheduleFire(b *testing.B) {
 		}
 	}
 	for q.Fire() {
+	}
+}
+
+// BenchmarkKernelMix is the headline kernel benchmark: a fixed blend of the
+// three operations the simulator's hot loop issues — move a standing
+// per-PCPU timer (Reschedule), admit a fresh event (Schedule), and pop the
+// head (Fire) — over a population of 256 standing handles. BENCH_3.json
+// records this mix before and after the intrusive-heap rewrite; the
+// pre-rewrite implementation ran the same blend as Cancel+Schedule because
+// it had no in-place reschedule.
+func BenchmarkKernelMix(b *testing.B) {
+	var q Queue
+	nop := func(simtime.Time) {}
+	rng := rand.New(rand.NewSource(1))
+	standing := make([]Handle, 256)
+	for i := range standing {
+		standing[i] = q.Schedule(simtime.Time(1_000_000+i), nop)
+	}
+	now := simtime.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % len(standing)
+		standing[k] = q.Reschedule(standing[k], now+1_000_000+simtime.Time(rng.Int63n(1_000_000)))
+		q.Schedule(now+1, nop)
+		q.Fire()
+		now++
 	}
 }
 

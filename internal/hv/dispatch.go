@@ -65,17 +65,23 @@ func (h *Host) advance(p *PCPU, now simtime.Time) {
 	}
 }
 
-// setEvent replaces the PCPU's pending kernel event.
+// setEvent replaces the PCPU's pending kernel event. Nearly every kernel
+// event lands here with a previous event still standing (the allocation
+// end or projected job completion moved), so the common case is an
+// in-place reschedule of the same pooled record rather than a
+// cancel/tombstone/insert round trip; p.evFn is the one standing callback
+// closure, created at host construction, so the path allocates nothing.
 func (h *Host) setEvent(p *PCPU, at simtime.Time) {
-	h.Sim.Cancel(p.ev)
-	p.ev = eventRef{}
 	if at == simtime.Never {
+		h.Sim.Cancel(p.ev)
+		p.ev = eventRef{}
 		return
 	}
-	p.ev = h.Sim.At(at, func(now simtime.Time) {
-		p.ev = eventRef{}
-		h.refresh(p, now)
-	})
+	if p.ev.Active() {
+		p.ev = h.Sim.Reschedule(p.ev, at)
+		return
+	}
+	p.ev = h.Sim.At(at, p.evFn)
 }
 
 // refresh re-evaluates PCPU p at now: it advances accounting, then either
@@ -222,10 +228,10 @@ func (h *Host) dispatch(p *PCPU, now simtime.Time) {
 }
 
 // Kick forces PCPU p to re-run its scheduler now. Host schedulers call it
-// when a higher-priority VCPU appears.
+// when a higher-priority VCPU appears. The standing kernel event is left
+// pending: no simulator event can fire while dispatch runs, and every exit
+// path of dispatch ends in setEvent, which reschedules it in place.
 func (h *Host) Kick(p *PCPU, now simtime.Time) {
-	h.Sim.Cancel(p.ev)
-	p.ev = eventRef{}
 	h.advance(p, now)
 	h.dispatch(p, now)
 }
@@ -249,8 +255,9 @@ func (h *Host) VCPURecheck(v *VCPU, now simtime.Time) {
 	if p == nil {
 		return
 	}
-	h.Sim.Cancel(p.ev)
-	p.ev = eventRef{}
+	// As in Kick, the standing kernel event stays pending: every path below
+	// ends in setEvent (via refresh, armEvent, or dispatch), which moves it
+	// in place.
 	h.advance(p, now)
 	if p.cur != v { // completed & switched during advance
 		h.refresh(p, now)

@@ -38,7 +38,12 @@ func NewHost(s *sim.Simulator, m int, sched HostScheduler, costs CostModel) *Hos
 	}
 	h := &Host{Sim: s, Costs: costs, sched: sched}
 	for i := 0; i < m; i++ {
-		h.pcpus = append(h.pcpus, &PCPU{ID: i, host: h})
+		p := &PCPU{ID: i, host: h}
+		p.evFn = func(now simtime.Time) {
+			p.ev = eventRef{}
+			h.refresh(p, now)
+		}
+		h.pcpus = append(h.pcpus, p)
 	}
 	sched.Attach(h)
 	return h

@@ -84,6 +84,18 @@ type entry struct {
 
 type pcpuState struct {
 	entries []*entry
+	// idx maps a VCPU to its entry's position in entries for the current
+	// slice (a VCPU holds at most one entry per PCPU: wrap placement is
+	// contiguous, and wrapPlace visits each PCPU once). Rebuilt per slice
+	// with the map storage reused, it turns the per-decision entry
+	// searches (wake preemption, rescue scans, charge attribution) from
+	// linear sweeps into O(1) lookups.
+	idx map[*hv.VCPU]int
+	// firstLive is the index of the first entry with quota left. Entries
+	// exhaust monotonically within a slice in wrap order, so Schedule can
+	// skip the drained prefix wholesale — it still charges the modeled
+	// scan cost for them, keeping Decision.Work identical to a full sweep.
+	firstLive int
 	// lastEntry/lastAt attribute elapsed run time to the entry that was
 	// granted at the previous Schedule decision on this PCPU.
 	lastEntry *entry
@@ -155,7 +167,7 @@ func (s *Scheduler) Name() string { return "rtvirt-dpwrap" }
 func (s *Scheduler) Attach(h *hv.Host) {
 	s.h = h
 	for range h.PCPUs() {
-		s.pcpu = append(s.pcpu, &pcpuState{})
+		s.pcpu = append(s.pcpu, &pcpuState{idx: map[*hv.VCPU]int{}})
 	}
 }
 
@@ -507,6 +519,17 @@ func (s *Scheduler) rebuild(now simtime.Time) {
 		}
 	}
 
+	// Reindex the new layout. Positions are final only here: wrapPlace may
+	// have prepended continuation fragments. clear() keeps the map storage,
+	// so steady-state rebuilds allocate nothing.
+	for _, ps := range s.pcpu {
+		clear(ps.idx)
+		for i, e := range ps.entries {
+			ps.idx[e.v] = i
+		}
+		ps.firstLive = 0
+	}
+
 	if Trace {
 		fmt.Printf("[dpwrap] rebuild at %v: slice [%v,%v) len=%v\n",
 			now, s.sliceStart, s.sliceEnd, slice)
@@ -675,12 +698,10 @@ func (s *Scheduler) VCPUWake(v *hv.VCPU, now simtime.Time) {
 // Schedule call on the PCPU, which the kernel performs immediately.
 func (s *Scheduler) VCPUIdle(v *hv.VCPU, now simtime.Time) {}
 
-// entryIndex finds the entry of v on a PCPU, or -1.
+// entryIndex reports the position of v's entry on a PCPU, or -1.
 func (s *Scheduler) entryIndex(ps *pcpuState, v *hv.VCPU) int {
-	for i, e := range ps.entries {
-		if e.v == v {
-			return i
-		}
+	if i, ok := ps.idx[v]; ok {
+		return i
 	}
 	return -1
 }
@@ -716,9 +737,16 @@ func (s *Scheduler) Schedule(p *hv.PCPU, now simtime.Time) hv.Decision {
 		s.rebuild(now)
 	}
 	s.rescue(p, now)
-	work := 1
+	// Entries exhaust monotonically in wrap order within a slice; skip the
+	// drained prefix but charge the modeled sweep for it, so Work is
+	// exactly what a full scan reports.
+	for ps.firstLive < len(ps.entries) && ps.entries[ps.firstLive].remaining <= 0 {
+		ps.firstLive++
+	}
+	work := 1 + ps.firstLive
 	horizon := s.sliceEnd.Sub(now)
-	for _, e := range ps.entries {
+	for i := ps.firstLive; i < len(ps.entries); i++ {
+		e := ps.entries[i]
 		work++
 		if !available(e, p) {
 			continue

@@ -20,6 +20,7 @@ package rtxen
 
 import (
 	"fmt"
+	"sort"
 
 	"rtvirt/internal/eventq"
 	"rtvirt/internal/hv"
@@ -72,6 +73,8 @@ type serverState struct {
 	budget   simtime.Duration // remaining budget in the current period
 	deadline simtime.Time     // end of the current period = EDF priority
 	replEv   eventq.Handle
+	// heapIdx is the server's slot in the runqueue heap (-1 when removed).
+	heapIdx int32
 	// running tracks the PCPU charging this server, or -1.
 	runningOn int
 	lastAt    simtime.Time
@@ -82,15 +85,17 @@ type Scheduler struct {
 	cfg Config
 	h   *hv.Host
 
-	// runq is the global runqueue ordered by (deadline, VCPU ID): every
-	// admitted RT VCPU with budget appears here whether runnable or not;
-	// Schedule scans it in order (the sorted-queue maintenance cost is
-	// what Table 6's schedule-time column measures for RT-Xen).
-	runq []*hv.VCPU
+	// runq is the global runqueue as an indexed heap on (deadline, VCPU
+	// ID); see runq.go. Decision.Work still reports the sorted-list scan
+	// count the published scheduler pays (what Table 6's schedule-time
+	// column measures for RT-Xen) — the heap only makes the simulator's own
+	// bookkeeping cheaper.
+	runq runq
 
-	// scratch is reused wherever a stable copy of the runqueue is needed
-	// while armReplenish resorts it (Start is the only such site today);
-	// without it every call snapshots into a fresh slice.
+	// scratch is reused wherever a stable (deadline, ID)-ordered copy of
+	// the runqueue membership is needed: Start iterates it while
+	// armReplenish re-keys the heap, and admission sums bandwidth in the
+	// exact float order the seed's sorted list produced.
 	scratch []*hv.VCPU
 
 	bgCursor int
@@ -114,12 +119,21 @@ func (s *Scheduler) Attach(h *hv.Host) { s.h = h }
 // Start implements hv.HostScheduler.
 func (s *Scheduler) Start(now simtime.Time) {
 	s.started = true
-	// Snapshot into the scratch buffer: armReplenish resorts the runqueue
-	// while we iterate.
-	s.scratch = append(s.scratch[:0], s.runq...)
-	for _, v := range s.scratch {
+	// Snapshot into the scratch buffer (armReplenish re-keys the heap while
+	// we iterate) and walk it in (deadline, ID) order so the replenishment
+	// events are installed in the same sequence the seed's sorted runqueue
+	// produced — same-instant event FIFO order is part of determinism.
+	for _, v := range s.sortedMembers() {
 		s.armReplenish(v, now)
 	}
+}
+
+// sortedMembers snapshots the runqueue into scratch in (deadline, ID)
+// order — the iteration order of the seed's sorted-list runqueue.
+func (s *Scheduler) sortedMembers() []*hv.VCPU {
+	s.scratch = append(s.scratch[:0], s.runq.v...)
+	sort.Slice(s.scratch, func(i, j int) bool { return rqLess(s.scratch[i], s.scratch[j]) })
+	return s.scratch
 }
 
 func state(v *hv.VCPU) *serverState { return v.SchedData.(*serverState) }
@@ -131,8 +145,11 @@ func (s *Scheduler) AdmitVCPU(v *hv.VCPU) error {
 			return fmt.Errorf("rtxen: %w: invalid server %v", hv.ErrAdmission, v.Res)
 		}
 		if s.cfg.AdmitGlobalEDF {
+			// Sum in (deadline, ID) order — float addition order matters for
+			// boundary-exact admissions, and this is the order the seed's
+			// sorted runqueue summed in.
 			sum := v.Res.Bandwidth()
-			for _, x := range s.runq {
+			for _, x := range s.sortedMembers() {
 				sum += x.Res.Bandwidth()
 			}
 			if sum > float64(s.h.NumPCPUs())+1e-9 {
@@ -140,8 +157,8 @@ func (s *Scheduler) AdmitVCPU(v *hv.VCPU) error {
 					hv.ErrAdmission, sum, s.h.NumPCPUs())
 			}
 		}
-		v.SchedData = &serverState{budget: v.Res.Budget, runningOn: -1}
-		s.insertSorted(v)
+		v.SchedData = &serverState{budget: v.Res.Budget, runningOn: -1, heapIdx: -1}
+		s.runq.Push(v)
 		if s.started {
 			s.armReplenish(v, s.h.Sim.Now())
 		}
@@ -151,13 +168,10 @@ func (s *Scheduler) AdmitVCPU(v *hv.VCPU) error {
 
 // RemoveVCPU implements hv.HostScheduler.
 func (s *Scheduler) RemoveVCPU(v *hv.VCPU, now simtime.Time) {
-	for i, x := range s.runq {
-		if x == v {
-			s.runq = append(s.runq[:i], s.runq[i+1:]...)
-			break
-		}
-	}
 	if st, ok := v.SchedData.(*serverState); ok {
+		if st.heapIdx >= 0 {
+			s.runq.Remove(v)
+		}
 		s.h.Sim.Cancel(st.replEv)
 	}
 	v.SchedData = nil
@@ -177,28 +191,11 @@ func (s *Scheduler) UpdateVCPU(v *hv.VCPU, res hv.Reservation, now simtime.Time)
 	return nil
 }
 
-// insertSorted places v into the deadline-sorted runqueue. The linear scan
-// models RT-Xen's sorted-queue insertion.
-func (s *Scheduler) insertSorted(v *hv.VCPU) {
-	st := state(v)
-	pos := len(s.runq)
-	for i, x := range s.runq {
-		xs := state(x)
-		if st.deadline < xs.deadline || (st.deadline == xs.deadline && v.ID < x.ID) {
-			pos = i
-			break
-		}
-	}
-	s.runq = append(s.runq, nil)
-	copy(s.runq[pos+1:], s.runq[pos:])
-	s.runq[pos] = v
-}
-
 // armReplenish starts the server's periodic budget replenishment.
 func (s *Scheduler) armReplenish(v *hv.VCPU, now simtime.Time) {
 	st := state(v)
 	st.deadline = now.Add(v.Res.Period)
-	s.resort(v)
+	s.runq.Fix(v)
 	st.replEv = s.h.Sim.At(st.deadline, func(at simtime.Time) { s.replenish(v, at) })
 }
 
@@ -211,21 +208,10 @@ func (s *Scheduler) replenish(v *hv.VCPU, now simtime.Time) {
 		s.h.Emit(trace.Event{At: now, Kind: trace.Replenish, PCPU: -1,
 			VM: v.VM.Name, VCPU: v.Index, Arg: int64(v.Res.Budget)})
 	}
-	s.resort(v)
+	s.runq.Fix(v)
 	st.replEv = s.h.Sim.At(st.deadline, func(at simtime.Time) { s.replenish(v, at) })
 	// A replenished server may now outrank a running one.
 	s.preemptCheck(v, now)
-}
-
-// resort re-inserts v to keep the runqueue deadline-sorted.
-func (s *Scheduler) resort(v *hv.VCPU) {
-	for i, x := range s.runq {
-		if x == v {
-			s.runq = append(s.runq[:i], s.runq[i+1:]...)
-			break
-		}
-	}
-	s.insertSorted(v)
 }
 
 // chargeIfRunning deducts consumed budget for a currently-running server.
@@ -328,16 +314,11 @@ func (s *Scheduler) Schedule(p *hv.PCPU, now simtime.Time) hv.Decision {
 			state(cur).runningOn = -1
 		}
 	}
-	work := 0
-	for _, v := range s.runq {
-		work++ // models the sorted-queue scan
+	if v := s.runq.pickEDF(p); v != nil {
 		st := state(v)
-		if st.budget <= 0 || !v.Runnable() {
-			continue
-		}
-		if v.OnPCPU() != nil && v.OnPCPU() != p {
-			continue
-		}
+		// Work models the published sorted-queue scan: every member ranked
+		// ahead of the pick would have been examined.
+		work := s.runq.rankOf(v)
 		run := simtime.MinDur(st.budget, s.cfg.Quantum)
 		if s.cfg.EventDriven {
 			// Event-driven: run until budget exhaustion or the next
@@ -351,6 +332,8 @@ func (s *Scheduler) Schedule(p *hv.PCPU, now simtime.Time) hv.Decision {
 		st.lastAt = now
 		return hv.Decision{VCPU: v, RunFor: run, Work: work}
 	}
+	// No eligible server: the modeled scan examined the whole queue.
+	work := s.runq.Len()
 	// Background fill: non-RT VCPUs and zero-budget RT VCPUs.
 	if bg := s.pickBackground(p, &work); bg != nil {
 		run := s.cfg.Quantum

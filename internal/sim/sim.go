@@ -61,6 +61,20 @@ func (s *Simulator) After(d simtime.Duration, fn func(now simtime.Time)) eventq.
 // Cancel removes a pending event. Inert on zero and already-fired handles.
 func (s *Simulator) Cancel(h eventq.Handle) { s.q.Cancel(h) }
 
+// Reschedule moves a still-pending event to the absolute instant at,
+// keeping its callback, and returns the replacement handle (the one passed
+// in goes inert). It is the in-place equivalent of Cancel followed by At
+// with the same callback — including FIFO ordering among same-instant
+// events — but leaves no tombstone in the queue and performs a single heap
+// sift. Rescheduling into the past or an inactive handle panics; callers
+// that may hold a fired handle check Active first.
+func (s *Simulator) Reschedule(h eventq.Handle, at simtime.Time) eventq.Handle {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: rescheduling event at %v before now %v", at, s.now))
+	}
+	return s.q.Reschedule(h, at)
+}
+
 // Step fires the single earliest pending event, advancing the clock to its
 // scheduled time. It reports false when no events remain.
 func (s *Simulator) Step() bool {
@@ -68,6 +82,15 @@ func (s *Simulator) Step() bool {
 	if next == simtime.Never {
 		return false
 	}
+	s.fireAt(next)
+	return true
+}
+
+// fireAt fires the earliest pending event, already known to sit at next,
+// advancing the clock. Splitting this from Step lets RunUntil pay exactly
+// one PeekTime per event instead of peeking once for the bound check and
+// again inside Step.
+func (s *Simulator) fireAt(next simtime.Time) {
 	if next < s.now {
 		panic("sim: event queue went backwards")
 	}
@@ -76,18 +99,18 @@ func (s *Simulator) Step() bool {
 	s.q.Fire()
 	s.inStep = false
 	s.fired++
-	return true
 }
 
 // RunUntil fires events in order until the clock would pass end, leaving
-// the clock at exactly end. Events scheduled at exactly end do run.
+// the clock at exactly end. Events scheduled at exactly end do run. Each
+// event costs a single queue peek.
 func (s *Simulator) RunUntil(end simtime.Time) {
 	for {
 		next := s.q.PeekTime()
 		if next == simtime.Never || next > end {
 			break
 		}
-		s.Step()
+		s.fireAt(next)
 	}
 	if end > s.now && end != simtime.Never {
 		s.now = end

@@ -192,6 +192,64 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestRescheduleMovesEvent(t *testing.T) {
+	s := New(1)
+	var order []string
+	h := s.At(100, func(simtime.Time) { order = append(order, "moved") })
+	s.At(50, func(simtime.Time) { order = append(order, "fixed") })
+	h = s.Reschedule(h, 10) // earlier than the fixed event
+	s.RunUntil(30)
+	if len(order) != 1 || order[0] != "moved" {
+		t.Fatalf("after RunUntil(30): fired %v, want [moved]", order)
+	}
+	if h.Active() {
+		t.Fatal("handle still active after its event fired")
+	}
+	h2 := s.At(200, func(simtime.Time) { order = append(order, "late") })
+	s.Reschedule(h2, 60) // later move still lands before the horizon
+	s.RunUntil(1000)
+	if len(order) != 3 || order[1] != "fixed" || order[2] != "late" {
+		t.Fatalf("final fire order %v, want [moved fixed late]", order)
+	}
+}
+
+func TestRescheduleIntoPastPanics(t *testing.T) {
+	s := New(1)
+	h := s.At(100, func(simtime.Time) {})
+	s.At(50, func(simtime.Time) {})
+	s.RunUntil(60)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rescheduling before now did not panic")
+		}
+	}()
+	s.Reschedule(h, 10)
+}
+
+// RunUntil must cost exactly one queue peek per fired event: with N events
+// at or before the horizon, the loop body runs N times and the bound check
+// rides on the same peek. EventsFired is the observable loop count.
+func TestRunUntilFiresExactlyPending(t *testing.T) {
+	s := New(1)
+	const before, after = 37, 5
+	for i := 0; i < before; i++ {
+		s.At(simtime.Time(10+i), func(simtime.Time) {})
+	}
+	for i := 0; i < after; i++ {
+		s.At(simtime.Time(1000+i), func(simtime.Time) {})
+	}
+	s.RunUntil(500)
+	if got := s.EventsFired(); got != before {
+		t.Fatalf("EventsFired = %d, want %d", got, before)
+	}
+	if s.Now() != 500 {
+		t.Fatalf("Now = %v, want 500", s.Now())
+	}
+	if s.Pending() != after {
+		t.Fatalf("Pending = %d, want %d", s.Pending(), after)
+	}
+}
+
 func TestDrainBudgetPanics(t *testing.T) {
 	s := New(1)
 	var tick func(simtime.Time)
