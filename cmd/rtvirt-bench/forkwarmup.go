@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"rtvirt"
+)
+
+// forkSide is one leg of the warm-start comparison: the same Figure-5 load
+// sweep, either forking every arm off one warmed world or rebuilding and
+// replaying the warmup prefix per arm.
+type forkSide struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	Rows        int     `json:"rows"`
+	Requests    int     `json:"requests"`
+	Details     string  `json:"details"`
+}
+
+type forkReport struct {
+	Bench       string   `json:"bench"`
+	GoVersion   string   `json:"go_version"`
+	WarmupSecs  int64    `json:"warmup_simulated_seconds"`
+	TotalSecs   int64    `json:"total_simulated_seconds"`
+	Steps       []int    `json:"hog_steps"`
+	Identical   bool     `json:"rows_bit_identical"`
+	Cold        forkSide `json:"cold"`
+	Forked      forkSide `json:"forked"`
+	Improvement struct {
+		WallPct float64 `json:"wall_pct"`
+	} `json:"improvement"`
+	Sweep []rtvirt.LoadStepRow `json:"sweep"`
+}
+
+// runForkWarmup times the Figure-5 load sweep with warm-start forking
+// against the cold control that replays the shared prefix per arm, checks
+// the two sweeps are bit-identical, and writes the comparison to outPath
+// (BENCH_4.json). Runs are sequential so the wall-clock delta measures the
+// fork, not worker-pool scheduling; best of three per side, interleaved.
+func runForkWarmup(outPath string) {
+	fmt.Println("Fork warm-start benchmark — Figure 5 load sweep, forked vs cold")
+
+	cfg := rtvirt.DefaultLoadStepConfig()
+	best := func(cold bool) (time.Duration, []rtvirt.LoadStepRow) {
+		c := cfg
+		c.Cold = cold
+		wall := time.Duration(1<<62 - 1)
+		var rows []rtvirt.LoadStepRow
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			rows = rtvirt.Figure5LoadSteps(c)
+			if d := time.Since(start); d < wall {
+				wall = d
+			}
+		}
+		return wall, rows
+	}
+
+	coldWall, coldRows := best(true)
+	forkWall, forkRows := best(false)
+
+	requests := func(rows []rtvirt.LoadStepRow) int {
+		var n int
+		for _, r := range rows {
+			n += r.Requests
+		}
+		return n
+	}
+
+	var r forkReport
+	r.Bench = "fig5 load sweep: warm once + fork per arm vs rebuild + replay per arm"
+	r.GoVersion = runtime.Version()
+	r.WarmupSecs = int64(cfg.Warmup / rtvirt.Second)
+	r.TotalSecs = int64(cfg.Duration / rtvirt.Second)
+	r.Steps = cfg.Steps
+	r.Identical = reflect.DeepEqual(coldRows, forkRows)
+	r.Cold = forkSide{
+		WallSeconds: coldWall.Seconds(),
+		Rows:        len(coldRows),
+		Requests:    requests(coldRows),
+		Details:     "every arm rebuilds the system and re-simulates the warmup prefix",
+	}
+	r.Forked = forkSide{
+		WallSeconds: forkWall.Seconds(),
+		Rows:        len(forkRows),
+		Requests:    requests(forkRows),
+		Details:     "one warmup per scheduler arm, System.Fork per load step",
+	}
+	r.Improvement.WallPct = 100 * (1 - forkWall.Seconds()/coldWall.Seconds())
+	r.Sweep = forkRows
+
+	fmt.Printf("  cold:   %7.3f s wall (%d rows, %d requests)\n",
+		r.Cold.WallSeconds, r.Cold.Rows, r.Cold.Requests)
+	fmt.Printf("  forked: %7.3f s wall (%d rows, %d requests)  %+.1f%%\n",
+		r.Forked.WallSeconds, r.Forked.Rows, r.Forked.Requests, r.Improvement.WallPct)
+	if r.Identical {
+		fmt.Println("  sweeps bit-identical: yes")
+	} else {
+		fmt.Println("  sweeps bit-identical: NO — fork determinism violated")
+	}
+	fmt.Println()
+	fmt.Println(rtvirt.RenderLoadSteps(forkRows, rtvirt.DefaultFigure5Config().SLO))
+
+	buf, err := json.MarshalIndent(&r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	if !r.Identical {
+		os.Exit(1)
+	}
+}

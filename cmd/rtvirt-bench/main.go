@@ -29,20 +29,27 @@ var out *report.Dir
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "which experiment to run (fig1, table1, table2, fig3, sporadic, table3, fig4, table4, fig5a, fig5b, table5, table6, ablations, all)")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		seconds  = flag.Int64("seconds", 0, "override run length in simulated seconds (0 = per-experiment default)")
-		outDir   = flag.String("out", "", "write machine-readable artifacts (CSV/JSON) to this directory")
-		runs     = flag.Int("runs", 5, "seeds for -experiment robustness")
-		parallel = flag.Int("parallel", 0, "workers for independent simulations (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
-		kernel   = flag.Bool("kernel", false, "benchmark the event-queue kernel against the recorded pre-rewrite baseline and exit")
-		benchOut = flag.String("bench-out", "BENCH_3.json", "output path for the -kernel comparison report")
+		exp        = flag.String("experiment", "all", "which experiment to run (fig1, table1, table2, fig3, sporadic, table3, fig4, table4, fig5a, fig5b, table5, table6, ablations, all)")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		seconds    = flag.Int64("seconds", 0, "override run length in simulated seconds (0 = per-experiment default)")
+		outDir     = flag.String("out", "", "write machine-readable artifacts (CSV/JSON) to this directory")
+		runs       = flag.Int("runs", 5, "seeds for -experiment robustness")
+		parallel   = flag.Int("parallel", 0, "workers for independent simulations (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
+		kernel     = flag.Bool("kernel", false, "benchmark the event-queue kernel against the recorded pre-rewrite baseline and exit")
+		benchOut   = flag.String("bench-out", "BENCH_3.json", "output path for the -kernel comparison report")
+		forkWarmup = flag.Bool("fork-warmup", false, "benchmark the fig5 warm-start fork sweep against its cold control and exit")
+		forkOut    = flag.String("fork-out", "BENCH_4.json", "output path for the -fork-warmup comparison report")
 	)
 	flag.Parse()
 	runner.SetDefault(*parallel)
 	if *kernel {
 		runner.SetDefault(1) // sequential: the wall-time leg measures the kernel, not the pool
 		runKernel(*benchOut)
+		return
+	}
+	if *forkWarmup {
+		runner.SetDefault(1) // sequential: the delta measures the fork, not the pool
+		runForkWarmup(*forkOut)
 		return
 	}
 	if *outDir != "" {
@@ -73,10 +80,14 @@ func main() {
 		"table6":     func() { runTable6(*seed, *seconds) },
 		"ablations":  func() { runAblations(*seed, *seconds) },
 		"io":         func() { runIO(*seed, *seconds) },
+		"surge":      func() { runSurge(*seed, *seconds) },
+		"loadsteps":  func() { runLoadSteps(*seed, *seconds) },
+		"bisect":     func() { runBisect(*seed, *seconds) },
 		"robustness": func() { runRobustness(*runs, *seconds) },
 	}
 	order := []string{"fig1", "table1", "table2", "fig3", "sporadic", "table3",
-		"fig4", "table4", "fig5a", "fig5b", "table5", "table6", "ablations", "io", "robustness"}
+		"fig4", "table4", "fig5a", "fig5b", "table5", "table6", "ablations", "io",
+		"surge", "loadsteps", "bisect", "robustness"}
 
 	name := strings.ToLower(*exp)
 	if name == "all" {
@@ -229,6 +240,72 @@ func runAblations(seed uint64, secs int64) {
 		"newcomer admitted", rtvirt.AblationIdleTax(seed, d)))
 	fmt.Println(rtvirt.RenderAblation("Ablation — guest scheduler: pEDF vs gEDF (§3.2)",
 		"guest sw/s", rtvirt.AblationGuestScheduler(seed, d)))
+	fmt.Println(rtvirt.RenderAblation("Ablation — forked counterfactual admission (idle-tax world)",
+		"newcomer admitted", rtvirt.AblationNewcomerForked(seed, d)))
+}
+
+func runSurge(seed uint64, secs int64) {
+	cfg := rtvirt.DefaultFigure4Config()
+	cfg.Seed = seed
+	cfg.Duration = secondsOr(secs, 120*rtvirt.Second)
+	warm := cfg.Duration / 2
+	rows := rtvirt.Figure4Surge(cfg, []int{0, 2, 4, 8}, warm, cfg.Duration-warm)
+	fmt.Println(rtvirt.RenderFigure4Surge(rows))
+}
+
+func runLoadSteps(seed uint64, secs int64) {
+	cfg := rtvirt.DefaultLoadStepConfig()
+	cfg.Seed = seed
+	if secs > 0 {
+		cfg.Duration = rtvirt.Duration(secs) * rtvirt.Second
+		cfg.Warmup = cfg.Duration * 2 / 3
+	}
+	rows := rtvirt.Figure5LoadSteps(cfg)
+	fmt.Println(rtvirt.RenderLoadSteps(rows, rtvirt.DefaultFigure5Config().SLO))
+}
+
+// runBisect demonstrates the divergence bisector on the two server-based
+// stacks: the same three reserved VMs under RT-Xen's deferrable servers
+// versus plain two-level EDF's polling servers.
+func runBisect(seed uint64, secs int64) {
+	horizon := secondsOr(secs, 5*rtvirt.Second)
+	build := func(stack rtvirt.Stack) func() *rtvirt.System {
+		return func() *rtvirt.System {
+			cfg := rtvirt.DefaultConfig(stack)
+			cfg.PCPUs = 2
+			cfg.Seed = seed
+			sys := rtvirt.NewSystem(cfg)
+			apps := make([]*rtvirt.RTApp, 0, 4)
+			for i := 0; i < 4; i++ {
+				g, err := sys.NewServerGuest(fmt.Sprintf("vm%d", i),
+					[]rtvirt.Reservation{{Budget: 4 * rtvirt.Millisecond, Period: 10 * rtvirt.Millisecond}}, 256)
+				if err != nil {
+					log.Fatal(err)
+				}
+				// The task period drifts against the server period, so servers
+				// regularly idle with leftover budget — the moment deferrable
+				// (keep it) and polling (burn it) servers part ways.
+				app, err := rtvirt.NewRTApp(g, i, fmt.Sprintf("rta%d", i),
+					rtvirt.Params{Slice: 2 * rtvirt.Millisecond, Period: 7 * rtvirt.Millisecond})
+				if err != nil {
+					log.Fatal(err)
+				}
+				apps = append(apps, app)
+			}
+			sys.Start()
+			for _, app := range apps {
+				app.Start(0)
+			}
+			return sys
+		}
+	}
+	res, err := rtvirt.Bisect(build(rtvirt.StackRTXen), build(rtvirt.StackTwoLevelEDF),
+		horizon, 100*rtvirt.Microsecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Bisect — deferrable (rt-xen) vs polling (two-level-edf) servers, same workload")
+	fmt.Println(res.Render())
 }
 
 func runIO(seed uint64, secs int64) {

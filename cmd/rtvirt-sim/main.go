@@ -9,6 +9,8 @@
 //	  "pcpus": 4,
 //	  "seconds": 30,
 //	  "seed": 1,
+//	  "costs": {"context_switch_us": 2, "migration_us": 3,    // platform cost model
+//	            "hypercall_us": 10},                          // (omitted fields keep §4.5 defaults)
 //	  "vms": [
 //	    {
 //	      "name": "rt-vm",

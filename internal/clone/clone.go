@@ -1,0 +1,74 @@
+// Package clone provides the pointer-remapping context used to deep-copy a
+// running simulation (sim.Simulator.Fork, core.System.Fork).
+//
+// A fork walks an object graph full of cycles: VCPUs point at their VM, the
+// VM points back at its VCPUs, scheduler runqueues point at VCPUs, pending
+// events point at handler state. Ctx memoizes every old→new pointer pair so
+// each object is cloned exactly once and every reference in the copy lands
+// on the copied object, never on the original.
+//
+// The cycle-safe cloning pattern every layer follows:
+//
+//	func cloneThing(ctx *clone.Ctx, t *Thing) *Thing {
+//		if n, ok := ctx.Lookup(t); ok {
+//			return n.(*Thing)
+//		}
+//		nt := &Thing{}      // allocate first,
+//		ctx.Put(t, nt)      // memoize before filling fields,
+//		nt.other = cloneOther(ctx, t.other) // then recurse freely.
+//		return nt
+//	}
+package clone
+
+import "fmt"
+
+// Ctx is one fork's old→new pointer memo. It is not safe for concurrent
+// use; each Fork call owns its own Ctx.
+type Ctx struct {
+	memo map[any]any
+}
+
+// New returns an empty cloning context.
+func New() *Ctx { return &Ctx{memo: make(map[any]any)} }
+
+// Lookup returns the clone previously registered for old, if any. Lookup of
+// nil returns (nil, false).
+func (c *Ctx) Lookup(old any) (any, bool) {
+	if old == nil {
+		return nil, false
+	}
+	n, ok := c.memo[old]
+	return n, ok
+}
+
+// Put registers new as the clone of old. Registering the same old twice
+// panics: it means two call sites each built their own copy, which would
+// split one object into two diverging ones.
+func (c *Ctx) Put(old, new any) {
+	if old == nil {
+		panic("clone: Put with nil original")
+	}
+	if _, dup := c.memo[old]; dup {
+		panic("clone: object cloned twice")
+	}
+	c.memo[old] = new
+}
+
+// Len reports the number of memoized objects (diagnostics).
+func (c *Ctx) Len() int { return len(c.memo) }
+
+// Get returns the memoized clone of old with its concrete type. The zero
+// value (typically a nil pointer) maps to itself. A lookup miss panics:
+// forks walk owners before referrers, so a missing entry is a cloning-order
+// bug, and silently aliasing the original would corrupt both worlds.
+func Get[T comparable](c *Ctx, old T) T {
+	var zero T
+	if old == zero {
+		return zero
+	}
+	n, ok := c.memo[old]
+	if !ok {
+		panic(fmt.Sprintf("clone: no clone registered for %T", old))
+	}
+	return n.(T)
+}

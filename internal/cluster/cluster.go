@@ -62,8 +62,12 @@ type Config struct {
 	Seed  uint64
 	// Policy is the placement heuristic.
 	Policy Policy
-	// System is the per-host configuration template (stack, costs, slack);
-	// PCPUs/Seed/SharedSim fields are overridden per host.
+	// System is the per-host configuration template (stack, costs, slack).
+	// The cluster owns the topology knobs: leave the template's PCPUs and
+	// Seed zero (or equal to the cluster's values) and SharedSim nil — the
+	// cluster supplies all three per host. Conflicting values are a
+	// configuration error: Validate reports it, and New panics on it
+	// instead of silently ignoring the template's fields.
 	System core.Config
 	// MigrationDowntime is the stop-and-copy blackout base cost.
 	MigrationDowntime simtime.Duration
@@ -80,6 +84,10 @@ type Config struct {
 // stop-and-copy model.
 func DefaultConfig() Config {
 	sys := core.DefaultConfig(core.RTVirt)
+	// The cluster owns topology: blank the template's host-level knobs so
+	// the config validates (see Config.System).
+	sys.PCPUs = 0
+	sys.Seed = 0
 	return Config{
 		Hosts:             2,
 		PCPUs:             4,
@@ -142,6 +150,8 @@ type Deployment struct {
 	Spec VMSpec
 	Host *Host
 
+	// id is the deployment's stable identity in typed kernel events.
+	id    int32
 	guest *guest.OS
 	tasks []*task.Task
 	// Migrations counts completed live migrations.
@@ -166,13 +176,31 @@ func (d *Deployment) Guest() *guest.OS { return d.guest }
 // Tasks returns the deployment's live tasks.
 func (d *Deployment) Tasks() []*task.Task { return d.tasks }
 
+// Typed kernel-event kinds dispatched to the cluster's HandleSimEvent.
+// Owner is always a deployment ID.
+const (
+	// evDeployStart begins a pre-Start deployment's periodic releases at
+	// t=0.
+	evDeployStart uint16 = iota
+	// evMigrateDone ends a live migration's blackout; Arg0 is the target
+	// host's index, Arg1 the downtime charged to the VM.
+	evMigrateDone
+	// evRecover re-places a VM after a host failure; Arg0 is the downtime
+	// charged on success.
+	evRecover
+)
+
 // Cluster is a set of RTVirt hosts under one placement controller.
 type Cluster struct {
 	Cfg   Config
 	Sim   *sim.Simulator
 	Hosts []*Host
 
+	handlerID   int32
 	deployments map[string]*Deployment
+	// byID resolves the Owner field of typed events back to the deployment.
+	byID      map[int32]*Deployment
+	nextDepID int32
 	// inbound tracks bandwidth of in-flight migrations per target host, so
 	// placement and rebalancing don't oscillate during blackouts.
 	inbound    map[*Host]float64
@@ -190,21 +218,74 @@ var (
 	ErrMigrating = errors.New("cluster: VM is migrating")
 )
 
-// New builds the cluster's hosts on a single shared clock.
+// Validate reports whether the configuration is coherent. The per-host
+// template must not fight the cluster over topology: its PCPUs and Seed
+// must be zero or equal to the cluster's, and SharedSim must be nil (the
+// cluster provides the one shared clock every host runs on).
+func (cfg Config) Validate() error {
+	if cfg.System.SharedSim != nil {
+		return errors.New("cluster: Config.System.SharedSim must be nil; the cluster provides the shared clock")
+	}
+	if cfg.System.PCPUs != 0 && cfg.System.PCPUs != cfg.PCPUs {
+		return fmt.Errorf("cluster: Config.System.PCPUs (%d) conflicts with Config.PCPUs (%d); leave the template's zero",
+			cfg.System.PCPUs, cfg.PCPUs)
+	}
+	if cfg.System.Seed != 0 && cfg.System.Seed != cfg.Seed {
+		return fmt.Errorf("cluster: Config.System.Seed (%d) conflicts with Config.Seed (%d); leave the template's zero",
+			cfg.System.Seed, cfg.Seed)
+	}
+	return nil
+}
+
+// New builds the cluster's hosts on a single shared clock. It panics if the
+// configuration fails Validate — previously a conflicting per-host template
+// was silently overridden.
 func New(cfg Config) *Cluster {
 	if cfg.Hosts <= 0 {
 		cfg.Hosts = 1
 	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	s := sim.New(cfg.Seed)
-	c := &Cluster{Cfg: cfg, Sim: s, deployments: map[string]*Deployment{}, inbound: map[*Host]float64{}}
+	c := &Cluster{Cfg: cfg, Sim: s,
+		deployments: map[string]*Deployment{},
+		byID:        map[int32]*Deployment{},
+		inbound:     map[*Host]float64{}}
+	c.handlerID = s.RegisterHandler(c)
 	for i := 0; i < cfg.Hosts; i++ {
 		sysCfg := cfg.System
 		sysCfg.PCPUs = cfg.PCPUs
+		sysCfg.Seed = cfg.Seed
 		sysCfg.SharedSim = s
 		h := &Host{Name: fmt.Sprintf("host%d", i), Sys: core.NewSystem(sysCfg), cluster: c}
 		c.Hosts = append(c.Hosts, h)
 	}
 	return c
+}
+
+// HandleSimEvent implements sim.Handler.
+func (c *Cluster) HandleSimEvent(now simtime.Time, ev sim.Payload) {
+	switch ev.Kind {
+	case evDeployStart:
+		c.startPeriodics(c.byID[ev.Owner], now)
+	case evMigrateDone:
+		c.finishMigration(c.byID[ev.Owner], c.Hosts[ev.Arg0], simtime.Duration(ev.Arg1))
+	case evRecover:
+		c.recover(c.byID[ev.Owner], simtime.Duration(ev.Arg0))
+	default:
+		panic(fmt.Sprintf("cluster: unknown event kind %d", ev.Kind))
+	}
+}
+
+// hostIndex reports h's position in the Hosts slice.
+func (c *Cluster) hostIndex(h *Host) int {
+	for i, x := range c.Hosts {
+		if x == h {
+			return i
+		}
+	}
+	panic("cluster: host not in cluster")
 }
 
 // Start dispatches every host. Call after initial placements.
@@ -279,8 +360,12 @@ func (c *Cluster) Place(spec VMSpec) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Deployment{Spec: spec, Host: host}
+	d := &Deployment{Spec: spec, Host: host, id: c.nextDepID}
+	c.nextDepID++
+	c.byID[d.id] = d
 	if err := c.deploy(d, host); err != nil {
+		delete(c.byID, d.id)
+		c.nextDepID--
 		return nil, err
 	}
 	c.deployments[spec.Name] = d
@@ -328,7 +413,7 @@ func (c *Cluster) deploy(d *Deployment, host *Host) error {
 		c.startPeriodics(d, c.Sim.Now())
 	} else {
 		// Before Start: defer the release start to t=0.
-		c.Sim.At(0, func(now simtime.Time) { c.startPeriodics(d, now) })
+		c.Sim.PostAt(0, sim.Payload{Handler: c.handlerID, Kind: evDeployStart, Owner: d.id})
 	}
 	return nil
 }
@@ -380,30 +465,36 @@ func (c *Cluster) Migrate(name string, target *Host) (*Host, error) {
 	}
 	c.inbound[target] += bw
 
-	c.Sim.After(downtime, func(now simtime.Time) {
-		d.migrating = false
-		d.Migrations++
-		d.BlackoutTotal += downtime
-		c.inbound[target] -= bw
-		err := fmt.Errorf("cluster: target %s failed during blackout", target.Name)
-		if !target.failed {
-			err = c.deploy(d, target)
-		}
-		if err != nil {
-			// The target filled up (or crashed) during the blackout: fall
-			// back to any live host that fits, the source included; if
-			// none does, the VM waits for capacity like a failover.
-			fallback, ferr := c.pickHost(bw, nil)
-			if ferr != nil {
-				d.pending = true
-				return
-			}
-			if err2 := c.deploy(d, fallback); err2 != nil {
-				d.pending = true
-			}
-		}
-	})
+	c.Sim.PostAfter(downtime, sim.Payload{Handler: c.handlerID, Kind: evMigrateDone,
+		Owner: d.id, Arg0: int64(c.hostIndex(target)), Arg1: int64(downtime)})
 	return target, nil
+}
+
+// finishMigration ends the stop-and-copy blackout: the VM resumes on the
+// target, or falls back to any live host that fits, or stays pending.
+func (c *Cluster) finishMigration(d *Deployment, target *Host, downtime simtime.Duration) {
+	bw := d.Spec.Bandwidth()
+	d.migrating = false
+	d.Migrations++
+	d.BlackoutTotal += downtime
+	c.inbound[target] -= bw
+	err := fmt.Errorf("cluster: target %s failed during blackout", target.Name)
+	if !target.failed {
+		err = c.deploy(d, target)
+	}
+	if err != nil {
+		// The target filled up (or crashed) during the blackout: fall
+		// back to any live host that fits, the source included; if
+		// none does, the VM waits for capacity like a failover.
+		fallback, ferr := c.pickHost(bw, nil)
+		if ferr != nil {
+			d.pending = true
+			return
+		}
+		if err2 := c.deploy(d, fallback); err2 != nil {
+			d.pending = true
+		}
+	}
 }
 
 // Rebalance migrates VMs from the most- to the least-loaded host until the
@@ -479,10 +570,8 @@ func (c *Cluster) FailHost(h *Host) []*Deployment {
 		}
 		d.pending = true
 		affected = append(affected, d)
-		dd := d
-		c.Sim.After(c.Cfg.RecoveryDelay, func(now simtime.Time) {
-			c.recover(dd, c.Cfg.RecoveryDelay)
-		})
+		c.Sim.PostAfter(c.Cfg.RecoveryDelay, sim.Payload{Handler: c.handlerID,
+			Kind: evRecover, Owner: d.id, Arg0: int64(c.Cfg.RecoveryDelay)})
 	}
 	return affected
 }

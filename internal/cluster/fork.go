@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"rtvirt/internal/clone"
+	"rtvirt/internal/guest"
+	"rtvirt/internal/sim"
+	"rtvirt/internal/task"
+)
+
+// Fork deep-copies the cluster — every host system on the shared clock, all
+// deployments (including pending and mid-migration ones), and the pending
+// migration/recovery timers — into an independent replica. See
+// core.System.Fork for the contract.
+func (c *Cluster) Fork() (*Cluster, *clone.Ctx, error) {
+	ctx := clone.New()
+	if _, err := c.Sim.Fork(ctx); err != nil {
+		return nil, nil, err
+	}
+	return clone.Get(ctx, c), ctx, nil
+}
+
+// ForkHandler implements sim.Handler. The cluster registers itself before
+// its hosts, so this runs first in a fork and drives the cloning of every
+// host system; the host and guest handlers that follow memo-hit.
+func (c *Cluster) ForkHandler(ctx *clone.Ctx) sim.Handler {
+	if n, ok := ctx.Lookup(c); ok {
+		return n.(*Cluster)
+	}
+	nc := &Cluster{
+		Cfg:         c.Cfg,
+		Sim:         clone.Get(ctx, c.Sim),
+		handlerID:   c.handlerID,
+		nextDepID:   c.nextDepID,
+		nextTaskID:  c.nextTaskID,
+		started:     c.started,
+		deployments: make(map[string]*Deployment, len(c.deployments)),
+		byID:        make(map[int32]*Deployment, len(c.byID)),
+		inbound:     make(map[*Host]float64, len(c.inbound)),
+	}
+	ctx.Put(c, nc)
+	nc.Hosts = make([]*Host, len(c.Hosts))
+	for i, h := range c.Hosts {
+		nh := &Host{Name: h.Name, cluster: nc, failed: h.failed}
+		ctx.Put(h, nh)
+		nh.Sys = h.Sys.ForkWith(ctx)
+		nc.Hosts[i] = nh
+	}
+	for name, d := range c.deployments {
+		nd := cloneDeployment(ctx, d)
+		nc.deployments[name] = nd
+		nc.byID[nd.id] = nd
+	}
+	for h, bw := range c.inbound {
+		nc.inbound[clone.Get(ctx, h)] = bw
+	}
+	return nc
+}
+
+func cloneDeployment(ctx *clone.Ctx, d *Deployment) *Deployment {
+	if n, ok := ctx.Lookup(d); ok {
+		return n.(*Deployment)
+	}
+	nd := &Deployment{
+		Spec:          d.Spec,
+		Host:          clone.Get(ctx, d.Host),
+		id:            d.id,
+		Migrations:    d.Migrations,
+		Failovers:     d.Failovers,
+		BlackoutTotal: d.BlackoutTotal,
+		migrating:     d.migrating,
+		pending:       d.pending,
+	}
+	ctx.Put(d, nd)
+	if d.guest != nil {
+		// Memo-aware: a live guest was cloned with its host; a guest torn
+		// down by Shutdown (mid-migration, failed host) is cloned here so
+		// its task statistics survive into the fork.
+		nd.guest = d.guest.ForkDriver(ctx).(*guest.OS)
+	}
+	nd.tasks = make([]*task.Task, len(d.tasks))
+	for i, t := range d.tasks {
+		nd.tasks[i] = task.Clone(ctx, t)
+	}
+	return nd
+}
+
+// guestOS asserts the interface identity used above at compile time.
+var _ sim.Handler = (*guest.OS)(nil)

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/task"
+)
+
+// depRow is the per-deployment outcome compared between a cold run and a
+// forked run: placement, failover accounting and task job statistics.
+type depRow struct {
+	Name       string
+	Host       string
+	Migrations int
+	Failovers  int
+	Blackout   simtime.Duration
+	Pending    bool
+	Stats      []task.Stats
+}
+
+func clusterRows(c *Cluster) []depRow {
+	var rows []depRow
+	for _, d := range c.Deployments() {
+		r := depRow{
+			Name:       d.Spec.Name,
+			Host:       d.Host.Name,
+			Migrations: d.Migrations,
+			Failovers:  d.Failovers,
+			Blackout:   d.BlackoutTotal,
+			Pending:    d.Pending(),
+		}
+		for _, t := range d.Tasks() {
+			r.Stats = append(r.Stats, t.Stats())
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// TestClusterForkDeterminism forks a cluster while a host failure's
+// recovery timer is still pending — the fork boundary cuts between the
+// failure and the failover — and pins that the forked future is
+// bit-identical to the uninterrupted run.
+func TestClusterForkDeterminism(t *testing.T) {
+	build := func() *Cluster {
+		cfg := DefaultConfig()
+		cfg.Hosts = 3
+		cfg.PCPUs = 2
+		cfg.Seed = 5
+		c := New(cfg)
+		for i := 0; i < 4; i++ {
+			if _, err := c.Place(vmSpec(fmt.Sprintf("vm%d", i), 2, 10+int64(i)*5)); err != nil {
+				t.Fatalf("place vm%d: %v", i, err)
+			}
+		}
+		c.Start()
+		c.Run(simtime.Second)
+		d, ok := c.Lookup("vm0")
+		if !ok {
+			t.Fatal("vm0 missing")
+		}
+		if affected := c.FailHost(d.Host); len(affected) == 0 {
+			t.Fatal("failing vm0's host affected no deployments")
+		}
+		// 100ms into the 500ms RecoveryDelay: the evRecover timers are
+		// pending kernel events that any fork must carry across.
+		c.Run(100 * simtime.Millisecond)
+		return c
+	}
+
+	cold := build()
+	cold.Run(2 * simtime.Second)
+	want := clusterRows(cold)
+
+	base := build()
+	fc, _, err := base.Fork()
+	if err != nil {
+		t.Fatalf("cluster fork: %v", err)
+	}
+	fc.Run(2 * simtime.Second)
+	got := clusterRows(fc)
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("forked cluster diverges from cold run:\n fork: %+v\n cold: %+v", got, want)
+	}
+	failovers := 0
+	for _, r := range got {
+		failovers += r.Failovers
+	}
+	if failovers == 0 {
+		t.Fatal("no failovers happened — the pending recovery timer never crossed the fork")
+	}
+	if now := base.Sim.Now(); now != simtime.Time(simtime.Second+100*simtime.Millisecond) {
+		t.Errorf("base cluster advanced to %v by running its fork", now)
+	}
+}

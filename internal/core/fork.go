@@ -1,0 +1,50 @@
+package core
+
+import (
+	"rtvirt/internal/clone"
+	"rtvirt/internal/guest"
+	"rtvirt/internal/hv"
+)
+
+// Fork deep-copies the entire system — simulator clock and RNG streams,
+// pending event queue, hypervisor, host scheduler, guests and workload
+// handlers — into an independent replica that will replay the exact same
+// future as the original (same events, same random draws, same dispatch
+// decisions). The returned clone context maps every original object to its
+// replica; use clone.Get to remap references the caller holds (tasks,
+// guests, workload drivers).
+//
+// Fork fails if any pending event still carries a closure instead of a
+// typed payload: closures capture the original world and cannot be remapped.
+func (sys *System) Fork() (*System, *clone.Ctx, error) {
+	ctx := clone.New()
+	if _, err := sys.Sim.Fork(ctx); err != nil {
+		return nil, nil, err
+	}
+	return sys.ForkWith(ctx), ctx, nil
+}
+
+// ForkWith assembles the forked System wrapper inside an existing clone
+// pass. The simulator must already have been forked into ctx (Fork does
+// this; the cluster layer does it once for all hosts on the shared clock).
+func (sys *System) ForkWith(ctx *clone.Ctx) *System {
+	if n, ok := ctx.Lookup(sys); ok {
+		return n.(*System)
+	}
+	nsys := &System{
+		Cfg:  sys.Cfg,
+		Sim:  clone.Get(ctx, sys.Sim),
+		Host: sys.Host.ForkHandler(ctx).(*hv.Host),
+	}
+	if sys.Cfg.SharedSim != nil {
+		nsys.Cfg.SharedSim = nsys.Sim
+	}
+	ctx.Put(sys, nsys)
+	nsys.guests = make([]*guest.OS, len(sys.guests))
+	for i, g := range sys.guests {
+		// ForkDriver is memo-aware: live guests were already cloned during
+		// the host walk; guests that were shut down are cloned here.
+		nsys.guests[i] = g.ForkDriver(ctx).(*guest.OS)
+	}
+	return nsys
+}

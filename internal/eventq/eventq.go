@@ -25,7 +25,12 @@
 // cancelled, or been reused is simply inert.
 package eventq
 
-import "rtvirt/internal/simtime"
+import (
+	"fmt"
+
+	"rtvirt/internal/clone"
+	"rtvirt/internal/simtime"
+)
 
 const (
 	statePending   byte = iota // queued, will fire
@@ -37,6 +42,24 @@ const (
 // arity*i+arity; the parent of node i is (i-1)/arity.
 const arity = 4
 
+// Payload is the closure-free form of a scheduled event: plain data naming
+// a registered handler plus a (Kind, Owner) pair and two scalar arguments.
+// Because a Payload captures no pointers, a queue whose pending events all
+// carry payloads can be deep-copied (CloneInto) — the copy re-binds each
+// event to the forked handler of the same ID instead of to stale closures.
+//
+// Field meaning is owned by the handler: Kind selects one of its event
+// types, Owner names the entity the event belongs to (a PCPU, VCPU, task,
+// or deployment ID), and Arg0/Arg1 carry event-specific scalars (times,
+// target IDs).
+type Payload struct {
+	Handler int32
+	Kind    uint16
+	Owner   int32
+	Arg0    int64
+	Arg1    int64
+}
+
 // Event is the pooled internal record for one scheduled callback. Callers
 // never hold an *Event directly; they hold a Handle.
 type Event struct {
@@ -44,7 +67,8 @@ type Event struct {
 	seq   uint64 // insertion order tiebreak
 	gen   uint64 // bumped on every recycle; validates Handles
 	fn    func(now simtime.Time)
-	idx   int32 // position in the owning queue's heap; -1 when not queued
+	p     Payload // typed form; used when fn is nil
+	idx   int32   // position in the owning queue's heap; -1 when not queued
 	state byte
 }
 
@@ -81,6 +105,11 @@ func (h Handle) At() simtime.Time {
 // event. Every mutation that could surface a tombstone at the root pops it
 // immediately, so PeekTime and Fire never have to search.
 type Queue struct {
+	// Dispatch receives every fired payload event. The queue's owner (the
+	// simulator) sets it once at construction; it is deliberately not part
+	// of CloneInto so a forked queue is re-bound to its own owner.
+	Dispatch func(now simtime.Time, p Payload)
+
 	h    []*Event
 	free []*Event // recycled records, bounded by peak live events
 	seq  uint64
@@ -104,6 +133,24 @@ func (q *Queue) Schedule(at simtime.Time, fn func(now simtime.Time)) Handle {
 	if fn == nil {
 		panic("eventq: Schedule with nil callback")
 	}
+	e := q.insert(at)
+	e.fn = fn
+	return Handle{e: e, gen: e.gen}
+}
+
+// SchedulePayload enqueues a typed event. It is ordered exactly as a
+// Schedule call at the same instant would be (same seq counter), so
+// converting a closure event to a payload event at the same call site
+// preserves same-instant FIFO order bit for bit.
+func (q *Queue) SchedulePayload(at simtime.Time, p Payload) Handle {
+	e := q.insert(at)
+	e.p = p
+	return Handle{e: e, gen: e.gen}
+}
+
+// insert allocates (or recycles) a pending record at instant at and places
+// it in the heap. The caller fills in the callback or payload.
+func (q *Queue) insert(at simtime.Time) *Event {
 	var e *Event
 	if n := len(q.free); n > 0 {
 		e = q.free[n-1]
@@ -112,7 +159,7 @@ func (q *Queue) Schedule(at simtime.Time, fn func(now simtime.Time)) Handle {
 	} else {
 		e = &Event{}
 	}
-	e.at, e.fn, e.seq, e.state = at, fn, q.seq, statePending
+	e.at, e.seq, e.state = at, q.seq, statePending
 	q.seq++
 	q.h = append(q.h, e)
 	q.siftUp(len(q.h) - 1)
@@ -121,7 +168,7 @@ func (q *Queue) Schedule(at simtime.Time, fn func(now simtime.Time)) Handle {
 	// the live population; checking here too keeps the heap length bounded
 	// by max(64, 2×live) no matter how operations interleave.
 	q.maybeCompact()
-	return Handle{e: e, gen: e.gen}
+	return e
 }
 
 // Cancel removes the event from the queue if it has not fired yet. It is
@@ -197,9 +244,13 @@ func (q *Queue) Fire() bool {
 	e := q.removeRoot()
 	q.fixRoot()
 	q.live--
-	at, fn := e.at, e.fn
+	at, fn, p := e.at, e.fn, e.p
 	q.recycle(e)
-	fn(at)
+	if fn != nil {
+		fn(at)
+	} else {
+		q.Dispatch(at, p)
+	}
 	return true
 }
 
@@ -314,7 +365,69 @@ func (q *Queue) maybeCompact() {
 func (q *Queue) recycle(e *Event) {
 	e.gen++
 	e.fn = nil
+	e.p = Payload{}
 	e.state = stateFree
 	e.idx = -1
 	q.free = append(q.free, e)
+}
+
+// CloneInto deep-copies the queue's pending events into dst, which must be
+// empty (its Dispatch hook, set by dst's owner, is left untouched). Every
+// pending event keeps its (at, seq) pair and generation exactly, and the
+// seq counter is carried over, so the copy fires the same events in the
+// same order and numbers future insertions identically — the forked run is
+// bit-identical to the original. Tombstones and the free list are not
+// copied; they are unobservable.
+//
+// Each old record's clone is memoized in ctx so callers can remap the
+// Handles they hold (CloneHandle). CloneInto fails if any pending event
+// still carries a closure: a closure captures pointers into the old world,
+// so copying it would make the fork mutate its parent.
+func (q *Queue) CloneInto(dst *Queue, ctx *clone.Ctx) error {
+	closures := 0
+	dst.h = make([]*Event, 0, q.live)
+	for _, e := range q.h {
+		if e.state != statePending {
+			continue
+		}
+		if e.fn != nil {
+			closures++
+			continue
+		}
+		ne := &Event{at: e.at, seq: e.seq, gen: e.gen, p: e.p, state: statePending}
+		ctx.Put(e, ne)
+		dst.h = append(dst.h, ne)
+	}
+	if closures > 0 {
+		return fmt.Errorf("eventq: %d pending closure event(s); only typed payload events can be forked", closures)
+	}
+	dst.seq = q.seq
+	dst.live = len(dst.h)
+	n := len(dst.h)
+	for i, e := range dst.h {
+		e.idx = int32(i)
+	}
+	// Heapify; pop order is total on (at, seq), so layout differences from
+	// the source heap are unobservable.
+	if n > 1 {
+		for i := (n - 2) / arity; i >= 0; i-- {
+			dst.siftDown(i)
+		}
+	}
+	return nil
+}
+
+// CloneHandle maps a Handle into a queue previously copied with CloneInto
+// using the same ctx. Inactive handles (zero, fired, cancelled) map to the
+// inert zero Handle; active ones map to the clone of their event and stay
+// active.
+func CloneHandle(ctx *clone.Ctx, h Handle) Handle {
+	if !h.Active() {
+		return Handle{}
+	}
+	n, ok := ctx.Lookup(h.e)
+	if !ok {
+		panic("eventq: CloneHandle for an event from a different queue")
+	}
+	return Handle{e: n.(*Event), gen: h.gen}
 }

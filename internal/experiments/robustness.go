@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"rtvirt/internal/clone"
 	"rtvirt/internal/metrics"
 	"rtvirt/internal/runner"
 	"rtvirt/internal/simtime"
@@ -36,7 +37,7 @@ func (r RobustnessResult) quantile(q float64) float64 {
 }
 
 // robustnessSeed is one seed's worth of claim outcomes, in claim order.
-type robustnessSeed [4]struct {
+type robustnessSeed [5]struct {
 	Held  bool
 	Value float64
 }
@@ -55,6 +56,7 @@ func Robustness(runs int, duration simtime.Duration) []RobustnessResult {
 		{Claim: "Fig5a: RTVirt meets the 500µs SLO; Credit does not", Unit: "RTVirt p99.9 µs"},
 		{Claim: "Fig5a: RTVirt uses ≥45% less bandwidth than RT-Xen A", Unit: "saving %"},
 		{Claim: "T6: RTVirt admits all 100 RTAs at <1% overhead, below RT-Xen", Unit: "RTVirt overhead %"},
+		{Claim: "Fork at t/2 replays the future bit-identically", Unit: "p99.9 µs"},
 	}
 	seeds := make([]uint64, runs)
 	for i := range seeds {
@@ -109,6 +111,32 @@ func robustnessRun(seed uint64, duration simtime.Duration) robustnessSeed {
 	rs[3].Held = rtv6.RTAsAdmitted == 100 && rtv6.OverheadPct < 1.0 &&
 		rtv6.OverheadPct < xen6.OverheadPct
 	rs[3].Value = rtv6.OverheadPct
+
+	// Fork determinism: the RTVirt memcached system run cold to t=D versus
+	// warmed to t=D/2, forked and run out. The claim holds when both worlds
+	// report the identical latency distribution — the contract every
+	// warm-start sweep in this package leans on.
+	d := simtime.MinDur(duration, 20*simtime.Second)
+	coldSys := newMemcachedSystem(ArmRTVirt, 2, seed)
+	coldMC := addMemcachedVM(coldSys, ArmRTVirt, 0, 727)
+	coldSys.Start()
+	coldMC.Start(0)
+	coldSys.Run(d)
+
+	warmSys := newMemcachedSystem(ArmRTVirt, 2, seed)
+	warmMC := addMemcachedVM(warmSys, ArmRTVirt, 0, 727)
+	warmSys.Start()
+	warmMC.Start(0)
+	warmSys.Run(d / 2)
+	fsys, fctx, err := warmSys.Fork()
+	must(err)
+	fmc := clone.Get(fctx, warmMC)
+	fsys.Run(d - d/2)
+
+	rs[4].Held = fmc.Latency.Count() == coldMC.Latency.Count() &&
+		fmc.Latency.Mean() == coldMC.Latency.Mean() &&
+		fmc.Latency.Percentile(99.9) == coldMC.Latency.Percentile(99.9)
+	rs[4].Value = fmc.Latency.Percentile(99.9).Micros()
 	return rs
 }
 

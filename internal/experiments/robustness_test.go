@@ -12,7 +12,7 @@ func TestRobustnessAcrossSeeds(t *testing.T) {
 		t.Skip("multi-seed sweep")
 	}
 	results := Robustness(4, 30*simtime.Second)
-	if len(results) != 4 {
+	if len(results) != 5 {
 		t.Fatalf("results = %d", len(results))
 	}
 	for _, r := range results {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"rtvirt/internal/core"
@@ -17,6 +18,9 @@ import (
 func TestSoakMixedWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ten simulated minutes")
+	}
+	if os.Getenv("RTVIRT_SOAK") == "" {
+		t.Skip("long soak; set RTVIRT_SOAK=1 to run (the nightly workflow does)")
 	}
 	cfg := core.DefaultConfig(core.RTVirt)
 	cfg.PCPUs = 8

@@ -1,0 +1,13 @@
+package guest
+
+import (
+	"rtvirt/internal/clone"
+	"rtvirt/internal/sim"
+	"rtvirt/internal/simtime"
+)
+
+// clSched is never forked and never schedules typed events; these stubs
+// satisfy the widened HostScheduler interface.
+
+func (s *clSched) HandleSimEvent(simtime.Time, sim.Payload) { panic("clSched: no typed events") }
+func (s *clSched) ForkHandler(*clone.Ctx) sim.Handler       { panic("clSched: not forkable") }

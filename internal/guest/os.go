@@ -66,15 +66,31 @@ var (
 	ErrAlreadyRegister = errors.New("guest: task already registered")
 )
 
+// Typed kernel-event kinds dispatched to the guest's HandleSimEvent.
+const (
+	// evPeriodicTick releases the next job of a periodic task. Owner is
+	// the task's guest-local owner ID (NOT task.ID, which is only unique
+	// within one task set).
+	evPeriodicTick uint16 = iota
+)
+
 // OS is the guest operating system of one VM.
 type OS struct {
-	cfg  Config
-	host *hv.Host
-	sim  *sim.Simulator
-	vm   *hv.VM
+	cfg       Config
+	host      *hv.Host
+	sim       *sim.Simulator
+	vm        *hv.VM
+	handlerID int32
 
 	vcpus []*vcpuState
 	tasks map[*task.Task]*taskState
+	// order keeps registered tasks in registration order so Tasks() — and
+	// everything downstream of it, such as Shutdown's unregister sequence —
+	// is deterministic (map iteration is not).
+	order []*taskState
+	// byOwner resolves the Owner field of typed events back to the task.
+	byOwner   map[int32]*taskState
+	nextOwner int32
 }
 
 type vcpuState struct {
@@ -94,9 +110,10 @@ func (vs *vcpuState) bwSum() float64 {
 }
 
 type taskState struct {
-	t  *task.Task
-	vs *vcpuState
-	os *OS
+	t     *task.Task
+	vs    *vcpuState
+	os    *OS
+	owner int32
 	// periodic release machinery
 	releaseEv   eventq.Handle
 	nextRelease simtime.Time
@@ -113,7 +130,9 @@ func NewOS(host *hv.Host, name string, cfg Config, nVCPUs int) (*OS, error) {
 	if cfg.VCPUCapacity == 0 {
 		cfg.VCPUCapacity = 1.0
 	}
-	g := &OS{cfg: cfg, host: host, sim: host.Sim, tasks: map[*task.Task]*taskState{}}
+	g := &OS{cfg: cfg, host: host, sim: host.Sim,
+		tasks: map[*task.Task]*taskState{}, byOwner: map[int32]*taskState{}}
+	g.handlerID = host.Sim.RegisterHandler(g)
 	g.vm = host.NewVM(name, g)
 	for i := 0; i < nVCPUs; i++ {
 		if _, err := g.AddVCPU(hv.Reservation{Period: simtime.Millis(10)}, 256); err != nil {
@@ -156,13 +175,34 @@ func (g *OS) AllocatedBandwidth() float64 {
 	return total
 }
 
-// Tasks returns the registered tasks.
+// Tasks returns the registered tasks in registration order.
 func (g *OS) Tasks() []*task.Task {
-	out := make([]*task.Task, 0, len(g.tasks))
-	for t := range g.tasks {
-		out = append(out, t)
+	out := make([]*task.Task, 0, len(g.order))
+	for _, ts := range g.order {
+		out = append(out, ts.t)
 	}
 	return out
+}
+
+// track records a freshly admitted task: assigns its owner ID (the stable
+// handle typed kernel events use to reach it) and indexes it.
+func (g *OS) track(ts *taskState) {
+	ts.owner = g.nextOwner
+	g.nextOwner++
+	g.tasks[ts.t] = ts
+	g.byOwner[ts.owner] = ts
+	g.order = append(g.order, ts)
+}
+
+func (g *OS) untrack(ts *taskState) {
+	delete(g.tasks, ts.t)
+	delete(g.byOwner, ts.owner)
+	for i, x := range g.order {
+		if x == ts {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
 }
 
 // TaskVCPU reports which VCPU index a task is pinned to, or -1.
@@ -209,7 +249,7 @@ func (g *OS) Register(t *task.Task) error {
 		// queue behind RT jobs (deadline = Never) on the VCPU with the
 		// fewest background tasks.
 		ts := &taskState{t: t, os: g}
-		g.tasks[t] = ts
+		g.track(ts)
 		best := g.vcpus[0]
 		bestN := 1 << 30
 		for _, vs := range g.vcpus {
@@ -235,7 +275,7 @@ func (g *OS) Register(t *task.Task) error {
 		g.emitVerdict(t, nil, t.Params().Slice, false)
 		return err
 	}
-	g.tasks[t] = ts
+	g.track(ts)
 	g.pin(ts, vs)
 	g.emitVerdict(t, vs, t.Params().Slice, true)
 	return nil
@@ -261,7 +301,7 @@ func (g *OS) RegisterOn(t *task.Task, vcpu int) error {
 			return fmt.Errorf("%w: %v", ErrHostRejected, err)
 		}
 	}
-	g.tasks[t] = ts
+	g.track(ts)
 	g.pin(ts, vs)
 	g.emitVerdict(t, vs, t.Params().Slice, true)
 	return nil
@@ -342,7 +382,7 @@ func (g *OS) Unregister(t *task.Task) error {
 	}
 	g.sim.Cancel(ts.releaseEv)
 	ts.releaseEv = eventq.Handle{}
-	delete(g.tasks, t)
+	g.untrack(ts)
 	if ts.vs == nil {
 		return nil
 	}
@@ -459,9 +499,22 @@ func (g *OS) StartPeriodic(t *task.Task, start simtime.Time) {
 		panic("guest: StartPeriodic called twice")
 	}
 	ts.nextRelease = start
-	ts.releaseEv = g.sim.At(start, func(now simtime.Time) { g.periodicTick(ts, now) })
+	ts.releaseEv = g.sim.PostAt(start,
+		sim.Payload{Handler: g.handlerID, Kind: evPeriodicTick, Owner: ts.owner})
 	if ts.vs != nil {
 		g.publish(ts.vs)
+	}
+}
+
+// HandleSimEvent implements sim.Handler.
+func (g *OS) HandleSimEvent(now simtime.Time, ev sim.Payload) {
+	switch ev.Kind {
+	case evPeriodicTick:
+		if ts, ok := g.byOwner[ev.Owner]; ok {
+			g.periodicTick(ts, now)
+		}
+	default:
+		panic(fmt.Sprintf("guest: unknown event kind %d", ev.Kind))
 	}
 }
 
@@ -473,7 +526,8 @@ func (g *OS) periodicTick(ts *taskState, now simtime.Time) {
 	// Arm the next tick before releasing so the deadline publication that
 	// happens inside ReleaseJob sees a fresh next-release time.
 	ts.nextRelease = now.Add(ts.t.Params().Period)
-	ts.releaseEv = g.sim.At(ts.nextRelease, func(at simtime.Time) { g.periodicTick(ts, at) })
+	ts.releaseEv = g.sim.PostAt(ts.nextRelease,
+		sim.Payload{Handler: g.handlerID, Kind: evPeriodicTick, Owner: ts.owner})
 	g.ReleaseJob(ts.t, 0)
 }
 

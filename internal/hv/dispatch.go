@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rtvirt/internal/eventq"
+	"rtvirt/internal/sim"
 	"rtvirt/internal/simtime"
 	"rtvirt/internal/trace"
 )
@@ -69,8 +70,9 @@ func (h *Host) advance(p *PCPU, now simtime.Time) {
 // event lands here with a previous event still standing (the allocation
 // end or projected job completion moved), so the common case is an
 // in-place reschedule of the same pooled record rather than a
-// cancel/tombstone/insert round trip; p.evFn is the one standing callback
-// closure, created at host construction, so the path allocates nothing.
+// cancel/tombstone/insert round trip. The event is a typed payload —
+// (host handler, evPCPUTimer, PCPU ID) — so it is plain data: the path
+// allocates nothing and the pending timer survives a fork.
 func (h *Host) setEvent(p *PCPU, at simtime.Time) {
 	if at == simtime.Never {
 		h.Sim.Cancel(p.ev)
@@ -81,7 +83,7 @@ func (h *Host) setEvent(p *PCPU, at simtime.Time) {
 		p.ev = h.Sim.Reschedule(p.ev, at)
 		return
 	}
-	p.ev = h.Sim.At(at, p.evFn)
+	p.ev = h.Sim.PostAt(at, sim.Payload{Handler: h.handlerID, Kind: evPCPUTimer, Owner: int32(p.ID)})
 }
 
 // refresh re-evaluates PCPU p at now: it advances accounting, then either

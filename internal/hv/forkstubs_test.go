@@ -1,0 +1,24 @@
+package hv
+
+import (
+	"rtvirt/internal/clone"
+	"rtvirt/internal/sim"
+	"rtvirt/internal/simtime"
+)
+
+// The kernel-test fakes are never forked and never schedule typed events;
+// the stubs below satisfy the widened HostScheduler/GuestDriver interfaces
+// and fail loudly if a test ever exercises them.
+
+func (s *fifoSched) HandleSimEvent(simtime.Time, sim.Payload) { panic("fifoSched: no typed events") }
+func (s *fifoSched) ForkHandler(*clone.Ctx) sim.Handler       { panic("fifoSched: not forkable") }
+
+func (s *migrSched) HandleSimEvent(simtime.Time, sim.Payload) { panic("migrSched: no typed events") }
+func (s *migrSched) ForkHandler(*clone.Ctx) sim.Handler       { panic("migrSched: not forkable") }
+
+func (s *chaosSched) HandleSimEvent(simtime.Time, sim.Payload) { panic("chaosSched: no typed events") }
+func (s *chaosSched) ForkHandler(*clone.Ctx) sim.Handler       { panic("chaosSched: not forkable") }
+
+func (g *fifoGuest) ForkDriver(*clone.Ctx) GuestDriver  { panic("fifoGuest: not forkable") }
+func (g *chaosGuest) ForkDriver(*clone.Ctx) GuestDriver { panic("chaosGuest: not forkable") }
+func (g *prioGuest) ForkDriver(*clone.Ctx) GuestDriver  { panic("prioGuest: not forkable") }

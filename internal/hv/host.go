@@ -25,6 +25,9 @@ type Host struct {
 	started   bool
 	startTime simtime.Time
 	nextVCPU  int
+	// handlerID is the host's slot in the simulator's typed-event dispatch
+	// table; the per-PCPU kernel timers are payload events addressed to it.
+	handlerID int32
 	// bus fans telemetry events out to attached sinks. The zero value is
 	// disabled and free: Emit on an empty bus does nothing and allocates
 	// nothing, so emission sites stay wired in unconditionally.
@@ -37,16 +40,35 @@ func NewHost(s *sim.Simulator, m int, sched HostScheduler, costs CostModel) *Hos
 		panic("hv: host needs at least one PCPU")
 	}
 	h := &Host{Sim: s, Costs: costs, sched: sched}
+	h.handlerID = s.RegisterHandler(h)
 	for i := 0; i < m; i++ {
-		p := &PCPU{ID: i, host: h}
-		p.evFn = func(now simtime.Time) {
-			p.ev = eventRef{}
-			h.refresh(p, now)
-		}
-		h.pcpus = append(h.pcpus, p)
+		h.pcpus = append(h.pcpus, &PCPU{ID: i, host: h})
 	}
 	sched.Attach(h)
 	return h
+}
+
+// HandlerID returns the host's typed-event handler ID.
+func (h *Host) HandlerID() int32 { return h.handlerID }
+
+// Host event kinds.
+const (
+	// evPCPUTimer is the one kernel event per PCPU: the host allocation
+	// expired or the running job's projected completion arrived. Owner is
+	// the PCPU ID.
+	evPCPUTimer uint16 = iota
+)
+
+// HandleSimEvent implements sim.Handler.
+func (h *Host) HandleSimEvent(now simtime.Time, ev sim.Payload) {
+	switch ev.Kind {
+	case evPCPUTimer:
+		p := h.pcpus[ev.Owner]
+		p.ev = eventRef{}
+		h.refresh(p, now)
+	default:
+		panic(fmt.Sprintf("hv: unknown event kind %d", ev.Kind))
+	}
 }
 
 // Scheduler returns the attached host scheduler.

@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 
+	"rtvirt/internal/clone"
+	"rtvirt/internal/sim"
 	"rtvirt/internal/simtime"
 	"rtvirt/internal/task"
 )
@@ -104,6 +106,12 @@ type GuestDriver interface {
 	// JobCompleted notifies the guest that j finished at now. The kernel
 	// has already recorded completion in the task's stats.
 	JobCompleted(v *VCPU, j *task.Job, now simtime.Time)
+	// ForkDriver deep-copies the driver for a forked simulation. It must be
+	// memo-aware (return the existing clone if ctx already has one, Put
+	// before filling reference fields) and may resolve the cloned VM,
+	// VCPUs, host, and simulator through ctx — the host clones all of them
+	// before calling ForkDriver.
+	ForkDriver(ctx *clone.Ctx) GuestDriver
 }
 
 // Decision is a host scheduler's answer to "what should this PCPU run".
@@ -115,7 +123,14 @@ type Decision struct {
 
 // HostScheduler is the VMM scheduling algorithm. Implementations:
 // dpwrap (RTVirt), rtxen (gEDF + deferrable server), credit (Xen default).
+//
+// A scheduler is also a sim.Handler: its timers (slice boundaries, budget
+// replenishments, accounting ticks) are typed payload events addressed to
+// its handler ID, and ForkHandler deep-copies its runqueues, budgets, and
+// per-VCPU scheduling state (VCPU.SchedData) for a forked simulation,
+// resolving cloned VCPUs and the cloned host through the fork's clone.Ctx.
 type HostScheduler interface {
+	sim.Handler
 	Name() string
 	// Attach wires the scheduler to the host. Called once from NewHost.
 	Attach(h *Host)

@@ -109,9 +109,6 @@ type PCPU struct {
 	overheadUntil simtime.Time
 	lastAdvance   simtime.Time
 	ev            eventRef
-	// evFn is the one kernel-event callback for this PCPU, created at host
-	// construction so setEvent never builds a fresh closure per event.
-	evFn func(now simtime.Time)
 
 	// BusyTime is job execution time; OverheadTime is scheduler/context
 	// switch/hypercall time; IdleTime is the remainder.

@@ -91,6 +91,24 @@ func MapIdx[T, R any](parallel int, items []T, fn func(int, T) R) []R {
 	return out
 }
 
+// MapForked runs a warm-start sweep: every arm starts from the same
+// warmed-up base world instead of replaying the shared prefix from scratch.
+// fork(i, arm) derives arm i's private world from the base — typically
+// core.System.Fork or cluster.Cluster.Fork — and run(i, arm, world)
+// executes the arm's divergent tail. Forks happen sequentially on the
+// calling goroutine, because deep-forking reads the shared base and
+// concurrent forks of the same world would race; the runs then fan out
+// like MapIdx. Results come back in arm order.
+func MapForked[A, F, R any](parallel int, arms []A, fork func(int, A) F, run func(int, A, F) R) []R {
+	forks := make([]F, len(arms))
+	for i, a := range arms {
+		forks[i] = fork(i, a)
+	}
+	return MapIdx(parallel, arms, func(i int, a A) R {
+		return run(i, a, forks[i])
+	})
+}
+
 // capturedPanic wraps a worker panic so the caller's re-panic keeps the
 // original value visible.
 type capturedPanic struct {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"rtvirt/internal/core"
 	"rtvirt/internal/dist"
@@ -28,7 +29,36 @@ type Scenario struct {
 	Seconds int64 `json:"seconds"`
 	// Seed fixes the random streams (default 1).
 	Seed uint64 `json:"seed"`
-	VMs  []VM   `json:"vms"`
+	// Costs overrides pieces of the platform cost model; omitted fields
+	// keep the §4 defaults (hv.DefaultCosts).
+	Costs *CostsSpec `json:"costs"`
+	VMs   []VM       `json:"vms"`
+}
+
+// CostsSpec overrides the platform cost model, in microseconds. Only the
+// fields present in the JSON are applied; absent fields keep the defaults
+// (10µs hypercall, 2µs context switch, 3µs migration — §4.5).
+type CostsSpec struct {
+	ContextSwitchUS *float64 `json:"context_switch_us"`
+	MigrationUS     *float64 `json:"migration_us"`
+	HypercallUS     *float64 `json:"hypercall_us"`
+}
+
+// apply folds the overrides into a cost model.
+func (c *CostsSpec) apply(m *hv.CostModel) {
+	if c.ContextSwitchUS != nil {
+		m.ContextSwitch = usToDur(*c.ContextSwitchUS)
+	}
+	if c.MigrationUS != nil {
+		m.Migration = usToDur(*c.MigrationUS)
+	}
+	if c.HypercallUS != nil {
+		m.Hypercall = usToDur(*c.HypercallUS)
+	}
+}
+
+func usToDur(us float64) simtime.Duration {
+	return simtime.Duration(us * float64(simtime.Microsecond))
 }
 
 // VM describes one guest.
@@ -140,6 +170,23 @@ func (sc Scenario) Validate() error {
 	if len(sc.VMs) == 0 {
 		return fmt.Errorf("scenario: no VMs")
 	}
+	if sc.Costs != nil {
+		for _, f := range []struct {
+			name  string
+			value *float64
+		}{
+			{"context_switch_us", sc.Costs.ContextSwitchUS},
+			{"migration_us", sc.Costs.MigrationUS},
+			{"hypercall_us", sc.Costs.HypercallUS},
+		} {
+			if f.value == nil {
+				continue
+			}
+			if *f.value < 0 || math.IsNaN(*f.value) || math.IsInf(*f.value, 0) {
+				return fmt.Errorf("scenario: costs.%s invalid (%v)", f.name, *f.value)
+			}
+		}
+	}
 	for _, vm := range sc.VMs {
 		if vm.Name == "" {
 			return fmt.Errorf("scenario: VM without a name")
@@ -202,6 +249,9 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 	}
 	if sc.Seed != 0 {
 		cfg.Seed = sc.Seed
+	}
+	if sc.Costs != nil {
+		sc.Costs.apply(&cfg.Costs)
 	}
 	sys := core.NewSystem(cfg)
 

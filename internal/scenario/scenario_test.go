@@ -101,6 +101,8 @@ func TestValidate(t *testing.T) {
 		{"negative slack", `{"vms": [{"name": "a", "slack_us": -1}]}`},
 		{"hotplug below vcpus", `{"vms": [{"name": "a", "vcpus": 4, "max_vcpus": 2}]}`},
 		{"negative priority", `{"vms": [{"name": "a", "tasks": [{"name": "t", "slice_us": 1, "period_us": 5, "priority": -2}]}]}`},
+		{"negative cost", `{"costs": {"context_switch_us": -1}, "vms": [{"name": "a"}]}`},
+		{"unknown cost field", `{"costs": {"warp_us": 1}, "vms": [{"name": "a"}]}`},
 	}
 	for _, c := range cases {
 		sc, err := Parse(strings.NewReader(c.json))
@@ -274,5 +276,43 @@ func TestHotplugKnob(t *testing.T) {
 		if tr.Stats.Missed != 0 {
 			t.Errorf("task %s missed %d deadlines after hotplug", tr.Name, tr.Stats.Missed)
 		}
+	}
+}
+
+func TestCostsOverride(t *testing.T) {
+	run := func(costs string) *Result {
+		js := `{
+  "pcpus": 1, "seconds": 2, "seed": 3,` + costs + `
+  "vms": [{"name": "rt", "tasks": [
+    {"name": "ctl", "kind": "periodic", "slice_us": 2000, "period_us": 10000}]}]
+}`
+		sc, err := Parse(strings.NewReader(js))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(sc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	def := run(``)
+	costly := run(`
+  "costs": {"context_switch_us": 200, "hypercall_us": 500},`)
+	free := run(`
+  "costs": {"context_switch_us": 0, "migration_us": 0, "hypercall_us": 0},`)
+
+	if costly.Overhead.Percent <= def.Overhead.Percent {
+		t.Fatalf("inflated costs did not raise overhead: %v <= %v",
+			costly.Overhead.Percent, def.Overhead.Percent)
+	}
+	if free.Overhead.Percent >= def.Overhead.Percent {
+		t.Fatalf("zeroed costs did not lower overhead: %v >= %v",
+			free.Overhead.Percent, def.Overhead.Percent)
+	}
+	if costly.Overhead.CtxSwitchTime <= def.Overhead.CtxSwitchTime {
+		t.Fatalf("context-switch override ignored: %v <= %v",
+			costly.Overhead.CtxSwitchTime, def.Overhead.CtxSwitchTime)
 	}
 }

@@ -19,8 +19,21 @@ import (
 	"fmt"
 
 	"rtvirt/internal/hv"
+	"rtvirt/internal/sim"
 	"rtvirt/internal/simtime"
 	"rtvirt/internal/trace"
+)
+
+// Typed kernel-event kinds dispatched to the scheduler's HandleSimEvent.
+const (
+	// evAccount is the periodic credit refill; host-wide, Owner unused.
+	evAccount uint16 = iota
+	// evTick is the periodic deboost/burn tick; host-wide, Owner unused.
+	evTick
+	// evRatelimitKick retries a boost preemption once the occupant's
+	// minimum run has elapsed. Owner is the waker's host-global VCPU ID,
+	// Arg0 the target PCPU ID.
+	evRatelimitKick
 )
 
 // Priority bands, highest first.
@@ -76,9 +89,12 @@ type vcpuState struct {
 type Scheduler struct {
 	cfg Config
 	h   *hv.Host
+	id  int32
 
 	vcpus  []*hv.VCPU
 	cursor int
+	// byID resolves the Owner field of typed events back to the VCPU.
+	byID map[int32]*hv.VCPU
 
 	started bool
 }
@@ -98,20 +114,41 @@ func New(cfg Config) *Scheduler {
 	if cfg.TickEvery <= 0 {
 		cfg.TickEvery = d.TickEvery
 	}
-	return &Scheduler{cfg: cfg}
+	return &Scheduler{cfg: cfg, byID: make(map[int32]*hv.VCPU)}
 }
 
 // Name implements hv.HostScheduler.
 func (s *Scheduler) Name() string { return "xen-credit" }
 
 // Attach implements hv.HostScheduler.
-func (s *Scheduler) Attach(h *hv.Host) { s.h = h }
+func (s *Scheduler) Attach(h *hv.Host) {
+	s.h = h
+	s.id = h.Sim.RegisterHandler(s)
+}
 
 // Start implements hv.HostScheduler.
 func (s *Scheduler) Start(now simtime.Time) {
 	s.started = true
-	s.h.Sim.At(now.Add(s.cfg.AccountPeriod), s.account)
-	s.h.Sim.At(now.Add(s.cfg.TickEvery), s.tick)
+	s.h.Sim.PostAt(now.Add(s.cfg.AccountPeriod), sim.Payload{Handler: s.id, Kind: evAccount})
+	s.h.Sim.PostAt(now.Add(s.cfg.TickEvery), sim.Payload{Handler: s.id, Kind: evTick})
+}
+
+// HandleSimEvent implements sim.Handler.
+func (s *Scheduler) HandleSimEvent(now simtime.Time, ev sim.Payload) {
+	switch ev.Kind {
+	case evAccount:
+		s.account(now)
+	case evTick:
+		s.tick(now)
+	case evRatelimitKick:
+		// The waker may have been torn down since the kick was armed; a
+		// missing byID entry means the retry is moot.
+		if v, ok := s.byID[ev.Owner]; ok && v.Runnable() && v.OnPCPU() == nil {
+			s.h.Kick(s.h.PCPUs()[ev.Arg0], now)
+		}
+	default:
+		panic(fmt.Sprintf("credit: unknown event kind %d", ev.Kind))
+	}
 }
 
 func state(v *hv.VCPU) *vcpuState { return v.SchedData.(*vcpuState) }
@@ -130,6 +167,7 @@ func (s *Scheduler) AdmitVCPU(v *hv.VCPU) error {
 	}
 	v.SchedData = st
 	s.vcpus = append(s.vcpus, v)
+	s.byID[int32(v.ID)] = v
 	return nil
 }
 
@@ -141,6 +179,7 @@ func (s *Scheduler) RemoveVCPU(v *hv.VCPU, now simtime.Time) {
 			break
 		}
 	}
+	delete(s.byID, int32(v.ID))
 	v.SchedData = nil
 }
 
@@ -185,7 +224,7 @@ func (s *Scheduler) account(now simtime.Time) {
 			}
 		}
 	}
-	s.h.Sim.At(now.Add(s.cfg.AccountPeriod), s.account)
+	s.h.Sim.PostAt(now.Add(s.cfg.AccountPeriod), sim.Payload{Handler: s.id, Kind: evAccount})
 }
 
 // tick deboosts running VCPUs and charges the tick cost on busy PCPUs.
@@ -201,7 +240,7 @@ func (s *Scheduler) tick(now simtime.Time) {
 			}
 		}
 	}
-	s.h.Sim.At(now.Add(s.cfg.TickEvery), s.tick)
+	s.h.Sim.PostAt(now.Add(s.cfg.TickEvery), sim.Payload{Handler: s.id, Kind: evTick})
 }
 
 // settle burns credits for a running VCPU up to now.
@@ -282,11 +321,8 @@ func (s *Scheduler) VCPUWake(v *hv.VCPU, now simtime.Time) {
 		// Ratelimit: let the current occupant finish its minimum run.
 		if ran := now.Sub(cs.lastAt); ok && ran < s.cfg.Ratelimit {
 			delay := s.cfg.Ratelimit - ran
-			s.h.Sim.After(delay, func(at simtime.Time) {
-				if v.Runnable() && v.OnPCPU() == nil {
-					s.h.Kick(target, at)
-				}
-			})
+			s.h.Sim.PostAfter(delay, sim.Payload{Handler: s.id, Kind: evRatelimitKick,
+				Owner: int32(v.ID), Arg0: int64(target.ID)})
 			return
 		}
 	}

@@ -28,6 +28,7 @@ import (
 
 	"rtvirt/internal/eventq"
 	"rtvirt/internal/hv"
+	"rtvirt/internal/sim"
 	"rtvirt/internal/simtime"
 	"rtvirt/internal/trace"
 )
@@ -103,10 +104,23 @@ type pcpuState struct {
 	bgCursor  int
 }
 
+// Scheduler event kinds (all host-wide; Owner unused).
+const (
+	// evBoundary fires at the global slice end: replan and re-dispatch.
+	evBoundary uint16 = iota
+	// evTaxWindow fires every TaxWindow: settle idle-tax factors.
+	evTaxWindow
+	// evReplan is the same-instant deferred replan after a slot write.
+	evReplan
+	// evRescue is the same-instant deferred kick for stranded split quota.
+	evRescue
+)
+
 // Scheduler is the DP-WRAP host scheduler.
 type Scheduler struct {
 	cfg Config
 	h   *hv.Host
+	id  int32 // typed-event handler ID
 
 	vcpus []*hv.VCPU // all VCPUs in admission order
 	pcpu  []*pcpuState
@@ -166,8 +180,29 @@ func (s *Scheduler) Name() string { return "rtvirt-dpwrap" }
 // Attach implements hv.HostScheduler.
 func (s *Scheduler) Attach(h *hv.Host) {
 	s.h = h
+	s.id = h.Sim.RegisterHandler(s)
 	for range h.PCPUs() {
 		s.pcpu = append(s.pcpu, &pcpuState{idx: map[*hv.VCPU]int{}})
+	}
+}
+
+// HandleSimEvent implements sim.Handler.
+func (s *Scheduler) HandleSimEvent(now simtime.Time, ev sim.Payload) {
+	switch ev.Kind {
+	case evBoundary:
+		s.boundaryEv = eventq.Handle{}
+		s.replanKick(now)
+	case evTaxWindow:
+		s.settleTax(now)
+		s.armTaxWindow(now)
+	case evReplan:
+		s.replanPending = false
+		s.replanKick(now)
+	case evRescue:
+		s.rescuePending = false
+		s.rescueKick(now)
+	default:
+		panic(fmt.Sprintf("dpwrap: unknown event kind %d", ev.Kind))
 	}
 }
 
@@ -182,10 +217,7 @@ func (s *Scheduler) Start(now simtime.Time) {
 
 // armTaxWindow schedules the next usage-accounting boundary.
 func (s *Scheduler) armTaxWindow(now simtime.Time) {
-	s.taxEv = s.h.Sim.At(now.Add(s.cfg.TaxWindow), func(at simtime.Time) {
-		s.settleTax(at)
-		s.armTaxWindow(at)
-	})
+	s.taxEv = s.h.Sim.PostAt(now.Add(s.cfg.TaxWindow), sim.Payload{Handler: s.id, Kind: evTaxWindow})
 }
 
 // settleTax recomputes every RT VCPU's tax factor from its observed usage
@@ -540,10 +572,7 @@ func (s *Scheduler) rebuild(now simtime.Time) {
 		}
 	}
 
-	s.boundaryEv = s.h.Sim.At(deadline, func(at simtime.Time) {
-		s.boundaryEv = eventq.Handle{}
-		s.replanKick(at)
-	})
+	s.boundaryEv = s.h.Sim.PostAt(deadline, sim.Payload{Handler: s.id, Kind: evBoundary})
 }
 
 // newEntry takes a recycled layout entry from the pool, or allocates one.
@@ -658,10 +687,7 @@ func (s *Scheduler) SlotUpdated(v *hv.VCPU, now simtime.Time) {
 		return // cutting now cannot help
 	}
 	s.replanPending = true
-	s.h.Sim.At(now, func(at simtime.Time) {
-		s.replanPending = false
-		s.replanKick(at)
-	})
+	s.h.Sim.PostAt(now, sim.Payload{Handler: s.id, Kind: evReplan})
 }
 
 // VCPUWake implements hv.HostScheduler: a woken real-time VCPU preempts
@@ -804,10 +830,7 @@ func (s *Scheduler) rescue(p *hv.PCPU, now simtime.Time) {
 		}
 		if cur == nil || curIdx < 0 || curIdx > idx {
 			s.rescuePending = true
-			s.h.Sim.At(now, func(at simtime.Time) {
-				s.rescuePending = false
-				s.rescueKick(at)
-			})
+			s.h.Sim.PostAt(now, sim.Payload{Handler: s.id, Kind: evRescue})
 			return
 		}
 	}

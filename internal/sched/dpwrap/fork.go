@@ -1,0 +1,73 @@
+package dpwrap
+
+import (
+	"rtvirt/internal/clone"
+	"rtvirt/internal/eventq"
+	"rtvirt/internal/hv"
+	"rtvirt/internal/sim"
+	"rtvirt/internal/simtime"
+)
+
+// ForkHandler implements sim.Handler: deep-copy the slice plan (per-PCPU
+// wrap entries with consumed quota), the carry remainders, the idle-tax
+// state, and the pending boundary/tax timers, remapping every VCPU through
+// ctx. The entry pool is not carried over — it is a pure allocation cache
+// and refills in the fork within a few slices.
+func (s *Scheduler) ForkHandler(ctx *clone.Ctx) sim.Handler {
+	if n, ok := ctx.Lookup(s); ok {
+		return n.(*Scheduler)
+	}
+	ns := &Scheduler{
+		cfg:           s.cfg,
+		h:             clone.Get(ctx, s.h),
+		id:            s.id,
+		sliceStart:    s.sliceStart,
+		sliceEnd:      s.sliceEnd,
+		started:       s.started,
+		replanPending: s.replanPending,
+		rescuePending: s.rescuePending,
+		Boundaries:    s.Boundaries,
+		SlicesTotal:   s.SlicesTotal,
+	}
+	ctx.Put(s, ns)
+	ns.boundaryEv = eventq.CloneHandle(ctx, s.boundaryEv)
+	ns.taxEv = eventq.CloneHandle(ctx, s.taxEv)
+	ns.vcpus = make([]*hv.VCPU, len(s.vcpus))
+	for i, v := range s.vcpus {
+		ns.vcpus[i] = clone.Get(ctx, v)
+	}
+	ns.carry = make(map[*hv.VCPU]int64, len(s.carry))
+	for v, c := range s.carry {
+		ns.carry[clone.Get(ctx, v)] = c
+	}
+	ns.taxFactor = make(map[*hv.VCPU]float64, len(s.taxFactor))
+	for v, f := range s.taxFactor {
+		ns.taxFactor[clone.Get(ctx, v)] = f
+	}
+	ns.windowUse = make(map[*hv.VCPU]simtime.Duration, len(s.windowUse))
+	for v, u := range s.windowUse {
+		ns.windowUse[clone.Get(ctx, v)] = u
+	}
+	ns.pcpu = make([]*pcpuState, len(s.pcpu))
+	for i, ps := range s.pcpu {
+		nps := &pcpuState{
+			idx:       make(map[*hv.VCPU]int, len(ps.idx)),
+			firstLive: ps.firstLive,
+			lastAt:    ps.lastAt,
+			bgCursor:  ps.bgCursor,
+		}
+		nps.entries = make([]*entry, len(ps.entries))
+		for j, e := range ps.entries {
+			ne := &entry{v: clone.Get(ctx, e.v), remaining: e.remaining, pcpu: e.pcpu}
+			nps.entries[j] = ne
+			if ps.lastEntry == e {
+				nps.lastEntry = ne
+			}
+		}
+		for v, j := range ps.idx {
+			nps.idx[clone.Get(ctx, v)] = j
+		}
+		ns.pcpu[i] = nps
+	}
+	return ns
+}

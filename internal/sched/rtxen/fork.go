@@ -1,0 +1,41 @@
+package rtxen
+
+import (
+	"rtvirt/internal/clone"
+	"rtvirt/internal/eventq"
+	"rtvirt/internal/hv"
+	"rtvirt/internal/sim"
+)
+
+// ForkHandler implements sim.Handler: deep-copy every deferrable-server
+// state (budget, deadline, pending replenishment timer, heap slot, charging
+// PCPU) onto the cloned VCPUs and rebuild the runqueue with remapped
+// pointers. heapIdx is carried verbatim, so the heap layout — and with it
+// the modeled scan ranks — is preserved exactly.
+func (s *Scheduler) ForkHandler(ctx *clone.Ctx) sim.Handler {
+	if n, ok := ctx.Lookup(s); ok {
+		return n.(*Scheduler)
+	}
+	ns := &Scheduler{
+		cfg:      s.cfg,
+		h:        clone.Get(ctx, s.h),
+		id:       s.id,
+		bgCursor: s.bgCursor,
+		started:  s.started,
+		byID:     make(map[int32]*hv.VCPU, len(s.byID)),
+	}
+	ctx.Put(s, ns)
+	for id, v := range s.byID {
+		nv := clone.Get(ctx, v)
+		nst := &serverState{}
+		*nst = *state(v)
+		nst.replEv = eventq.CloneHandle(ctx, state(v).replEv)
+		nv.SchedData = nst
+		ns.byID[id] = nv
+	}
+	ns.runq.v = make([]*hv.VCPU, len(s.runq.v))
+	for i, v := range s.runq.v {
+		ns.runq.v[i] = clone.Get(ctx, v)
+	}
+	return ns
+}

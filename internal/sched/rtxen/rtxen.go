@@ -24,9 +24,14 @@ import (
 
 	"rtvirt/internal/eventq"
 	"rtvirt/internal/hv"
+	"rtvirt/internal/sim"
 	"rtvirt/internal/simtime"
 	"rtvirt/internal/trace"
 )
+
+// evReplenish is the per-server budget replenishment timer; Owner is the
+// host-global VCPU ID.
+const evReplenish uint16 = iota
 
 // Config tunes the scheduler.
 type Config struct {
@@ -84,6 +89,11 @@ type serverState struct {
 type Scheduler struct {
 	cfg Config
 	h   *hv.Host
+	id  int32 // typed-event handler ID
+
+	// byID resolves replenishment events (addressed by VCPU ID) back to
+	// their server; entries exist for exactly the queued servers.
+	byID map[int32]*hv.VCPU
 
 	// runq is the global runqueue as an indexed heap on (deadline, VCPU
 	// ID); see runq.go. Decision.Work still reports the sorted-list scan
@@ -107,14 +117,28 @@ func New(cfg Config) *Scheduler {
 	if cfg.Quantum <= 0 {
 		cfg.Quantum = simtime.Millis(1)
 	}
-	return &Scheduler{cfg: cfg}
+	return &Scheduler{cfg: cfg, byID: map[int32]*hv.VCPU{}}
 }
 
 // Name implements hv.HostScheduler.
 func (s *Scheduler) Name() string { return "rt-xen-gedf-ds" }
 
 // Attach implements hv.HostScheduler.
-func (s *Scheduler) Attach(h *hv.Host) { s.h = h }
+func (s *Scheduler) Attach(h *hv.Host) {
+	s.h = h
+	s.id = h.Sim.RegisterHandler(s)
+}
+
+// HandleSimEvent implements sim.Handler.
+func (s *Scheduler) HandleSimEvent(now simtime.Time, ev sim.Payload) {
+	switch ev.Kind {
+	case evReplenish:
+		// The server must still exist: RemoveVCPU cancels its timer.
+		s.replenish(s.byID[ev.Owner], now)
+	default:
+		panic(fmt.Sprintf("rtxen: unknown event kind %d", ev.Kind))
+	}
+}
 
 // Start implements hv.HostScheduler.
 func (s *Scheduler) Start(now simtime.Time) {
@@ -159,6 +183,7 @@ func (s *Scheduler) AdmitVCPU(v *hv.VCPU) error {
 		}
 		v.SchedData = &serverState{budget: v.Res.Budget, runningOn: -1, heapIdx: -1}
 		s.runq.Push(v)
+		s.byID[int32(v.ID)] = v
 		if s.started {
 			s.armReplenish(v, s.h.Sim.Now())
 		}
@@ -173,6 +198,7 @@ func (s *Scheduler) RemoveVCPU(v *hv.VCPU, now simtime.Time) {
 			s.runq.Remove(v)
 		}
 		s.h.Sim.Cancel(st.replEv)
+		delete(s.byID, int32(v.ID))
 	}
 	v.SchedData = nil
 }
@@ -196,7 +222,7 @@ func (s *Scheduler) armReplenish(v *hv.VCPU, now simtime.Time) {
 	st := state(v)
 	st.deadline = now.Add(v.Res.Period)
 	s.runq.Fix(v)
-	st.replEv = s.h.Sim.At(st.deadline, func(at simtime.Time) { s.replenish(v, at) })
+	st.replEv = s.h.Sim.PostAt(st.deadline, sim.Payload{Handler: s.id, Kind: evReplenish, Owner: int32(v.ID)})
 }
 
 func (s *Scheduler) replenish(v *hv.VCPU, now simtime.Time) {
@@ -209,7 +235,7 @@ func (s *Scheduler) replenish(v *hv.VCPU, now simtime.Time) {
 			VM: v.VM.Name, VCPU: v.Index, Arg: int64(v.Res.Budget)})
 	}
 	s.runq.Fix(v)
-	st.replEv = s.h.Sim.At(st.deadline, func(at simtime.Time) { s.replenish(v, at) })
+	st.replEv = s.h.Sim.PostAt(st.deadline, sim.Payload{Handler: s.id, Kind: evReplenish, Owner: int32(v.ID)})
 	// A replenished server may now outrank a running one.
 	s.preemptCheck(v, now)
 }

@@ -17,6 +17,10 @@ func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 // stream, for workloads that need their own stable substream.
 func (r *RNG) Split() *RNG { return NewRNG(r.Uint64() ^ 0x9e3779b97f4a7c15) }
 
+// Clone returns a generator that continues this stream from exactly the
+// same point, for forked simulations.
+func (r *RNG) Clone() *RNG { return &RNG{state: r.state} }
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

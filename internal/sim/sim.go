@@ -16,17 +16,20 @@ import (
 
 // Simulator is a discrete-event simulation engine. Create one with New.
 type Simulator struct {
-	now    simtime.Time
-	q      eventq.Queue
-	rng    *RNG
-	fired  uint64
-	inStep bool
+	now      simtime.Time
+	q        eventq.Queue
+	rng      *RNG
+	fired    uint64
+	inStep   bool
+	handlers []Handler
 }
 
 // New returns a Simulator whose clock starts at 0 and whose random source
 // is seeded with seed (same seed ⇒ identical run).
 func New(seed uint64) *Simulator {
-	return &Simulator{rng: NewRNG(seed)}
+	s := &Simulator{rng: NewRNG(seed)}
+	s.q.Dispatch = s.dispatch
+	return s
 }
 
 // Now reports the current simulated time.
@@ -56,6 +59,28 @@ func (s *Simulator) After(d simtime.Duration, fn func(now simtime.Time)) eventq.
 		panic(fmt.Sprintf("sim: scheduling event %v in the past", d))
 	}
 	return s.At(s.now.Add(d), fn)
+}
+
+// PostAt schedules a typed event at the absolute instant at, delivered to
+// the registered handler named by p.Handler. Typed events order exactly
+// like At calls made at the same point (shared seq counter), and — unlike
+// closures — survive Fork. Scheduling in the past panics.
+func (s *Simulator) PostAt(at simtime.Time, p Payload) eventq.Handle {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	if p.Handler < 0 || int(p.Handler) >= len(s.handlers) {
+		panic(fmt.Sprintf("sim: PostAt with unregistered handler %d", p.Handler))
+	}
+	return s.q.SchedulePayload(at, p)
+}
+
+// PostAfter schedules a typed event d from now.
+func (s *Simulator) PostAfter(d simtime.Duration, p Payload) eventq.Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling event %v in the past", d))
+	}
+	return s.PostAt(s.now.Add(d), p)
 }
 
 // Cancel removes a pending event. Inert on zero and already-fired handles.

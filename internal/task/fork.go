@@ -1,0 +1,39 @@
+package task
+
+import "rtvirt/internal/clone"
+
+// Clone deep-copies a task for a forked simulation, memoized in ctx so the
+// guest OS, the hypervisor (via the current job), and workloads all land on
+// the same copy. OnJobDone is deliberately NOT carried over: it is a
+// closure owned by whichever workload drives the task, and that workload's
+// ForkHandler re-installs a callback bound to its own cloned recorder.
+// Tasks driven outside a registered workload lose their callback on fork.
+func Clone(ctx *clone.Ctx, t *Task) *Task {
+	if t == nil {
+		return nil
+	}
+	if n, ok := ctx.Lookup(t); ok {
+		return n.(*Task)
+	}
+	nt := &Task{}
+	*nt = *t
+	nt.OnJobDone = nil
+	ctx.Put(t, nt)
+	return nt
+}
+
+// CloneJob deep-copies a job (and, transitively, its task) for a forked
+// simulation, memoized in ctx.
+func CloneJob(ctx *clone.Ctx, j *Job) *Job {
+	if j == nil {
+		return nil
+	}
+	if n, ok := ctx.Lookup(j); ok {
+		return n.(*Job)
+	}
+	nj := &Job{}
+	*nj = *j
+	ctx.Put(j, nj)
+	nj.Task = Clone(ctx, j.Task)
+	return nj
+}

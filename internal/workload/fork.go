@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"rtvirt/internal/clone"
+	"rtvirt/internal/sim"
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/task"
+)
+
+// The workload drivers own the two pieces of state the lower layers refuse
+// to clone: the OnJobDone callbacks (task.Clone nils them) and the demand
+// functions (guest clones drop them). Each ForkHandler below re-installs
+// its callbacks bound to the CLONED recorder, so samples land in the fork's
+// metrics and the source run is never touched.
+
+// Fork returns the clone of a (its task and guest were already cloned by
+// the layers below); useful for remapping experiment-held references.
+func (a *RTApp) Fork(ctx *clone.Ctx) *RTApp {
+	if n, ok := ctx.Lookup(a); ok {
+		return n.(*RTApp)
+	}
+	na := &RTApp{Task: task.Clone(ctx, a.Task), Guest: clone.Get(ctx, a.Guest)}
+	ctx.Put(a, na)
+	return na
+}
+
+// ForkHandler implements sim.Handler.
+func (c *SporadicClient) ForkHandler(ctx *clone.Ctx) sim.Handler {
+	if n, ok := ctx.Lookup(c); ok {
+		return n.(*SporadicClient)
+	}
+	nc := &SporadicClient{
+		Task:         task.Clone(ctx, c.Task),
+		Guest:        clone.Get(ctx, c.Guest),
+		InterArrival: c.InterArrival,
+		NetworkDelay: c.NetworkDelay,
+		Requests:     c.Requests,
+		Latency:      c.Latency.Clone(),
+		sent:         c.sent,
+		sim:          clone.Get(ctx, c.sim),
+		rng:          cloneRNG(c.rng),
+		id:           c.id,
+	}
+	ctx.Put(c, nc)
+	nc.Task.OnJobDone = func(j *task.Job) {
+		nc.Latency.Add(j.Finish.Sub(j.Release))
+	}
+	return nc
+}
+
+// ForkHandler implements sim.Handler.
+func (m *Memcached) ForkHandler(ctx *clone.Ctx) sim.Handler {
+	if n, ok := ctx.Lookup(m); ok {
+		return n.(*Memcached)
+	}
+	nm := &Memcached{
+		Task:    task.Clone(ctx, m.Task),
+		Guest:   clone.Get(ctx, m.Guest),
+		Cfg:     m.Cfg,
+		Latency: m.Latency.Clone(),
+		inter:   m.inter,
+		service: m.service,
+		sim:     clone.Get(ctx, m.sim),
+		rng:     cloneRNG(m.rng),
+		sent:    m.sent,
+		stopped: m.stopped,
+		id:      m.id,
+	}
+	ctx.Put(m, nm)
+	nm.Task.OnJobDone = func(j *task.Job) {
+		nm.Latency.Add(j.Finish.Sub(j.Release))
+	}
+	return nm
+}
+
+// ForkHandler implements sim.Handler.
+func (h *CPUHog) ForkHandler(ctx *clone.Ctx) sim.Handler {
+	if n, ok := ctx.Lookup(h); ok {
+		return n.(*CPUHog)
+	}
+	nh := &CPUHog{
+		Task:  task.Clone(ctx, h.Task),
+		Guest: clone.Get(ctx, h.Guest),
+		id:    h.id,
+	}
+	ctx.Put(h, nh)
+	return nh
+}
+
+// ForkHandler implements sim.Handler.
+func (a *IOApp) ForkHandler(ctx *clone.Ctx) sim.Handler {
+	if n, ok := ctx.Lookup(a); ok {
+		return n.(*IOApp)
+	}
+	na := &IOApp{
+		Task:          task.Clone(ctx, a.Task),
+		Guest:         clone.Get(ctx, a.Guest),
+		Cfg:           a.Cfg,
+		Latency:       a.Latency.Clone(),
+		CPULatency:    a.CPULatency.Clone(),
+		SLOViolations: a.SLOViolations,
+		inter:         a.inter,
+		sim:           clone.Get(ctx, a.sim),
+		rng:           cloneRNG(a.rng),
+		sent:          a.sent,
+		stopped:       a.stopped,
+		id:            a.id,
+		pending:       make(map[*task.Job]simtime.Time, len(a.pending)),
+		phase1:        make(map[*task.Job]simtime.Time, len(a.phase1)),
+	}
+	ctx.Put(a, na)
+	na.Task.OnJobDone = na.jobDone
+	for j, at := range a.pending {
+		na.pending[task.CloneJob(ctx, j)] = at
+	}
+	for j, at := range a.phase1 {
+		na.phase1[task.CloneJob(ctx, j)] = at
+	}
+	return na
+}
+
+// cloneRNG copies a workload's split RNG stream; nil before Start.
+func cloneRNG(r *sim.RNG) *sim.RNG {
+	if r == nil {
+		return nil
+	}
+	return r.Clone()
+}

@@ -66,6 +66,7 @@ type IOApp struct {
 	rng     *sim.RNG
 	sent    int
 	stopped bool
+	id      int32
 
 	// pending maps a phase-2 job to its request arrival time.
 	pending map[*task.Job]simtime.Time
@@ -101,6 +102,7 @@ func NewIOApp(g *guest.OS, id int, cfg IOAppConfig) (*IOApp, error) {
 		pending: map[*task.Job]simtime.Time{},
 		phase1:  map[*task.Job]simtime.Time{},
 	}
+	a.id = a.sim.RegisterHandler(a)
 	t.OnJobDone = a.jobDone
 	return a, nil
 }
@@ -108,7 +110,20 @@ func NewIOApp(g *guest.OS, id int, cfg IOAppConfig) (*IOApp, error) {
 // Start begins the request stream.
 func (a *IOApp) Start(at simtime.Time) {
 	a.rng = a.sim.RNG().Split()
-	a.sim.At(at, a.arrive)
+	a.sim.PostAt(at, sim.Payload{Handler: a.id, Kind: evIOArrive})
+}
+
+// HandleSimEvent implements sim.Handler.
+func (a *IOApp) HandleSimEvent(now simtime.Time, ev sim.Payload) {
+	switch ev.Kind {
+	case evIOArrive:
+		a.arrive(now)
+	case evIOPhase2:
+		j2 := a.Guest.ReleaseJob(a.Task, a.Cfg.Compute2)
+		a.pending[j2] = simtime.Time(ev.Arg0)
+	default:
+		panic(fmt.Sprintf("workload: unknown IO app event kind %d", ev.Kind))
+	}
 }
 
 // Stop ends the request stream.
@@ -124,7 +139,7 @@ func (a *IOApp) arrive(now simtime.Time) {
 	a.sent++
 	j := a.Guest.ReleaseJob(a.Task, a.Cfg.Compute1)
 	a.phase1[j] = now
-	a.sim.At(now.Add(a.inter.Sample(a.rng)), a.arrive)
+	a.sim.PostAt(now.Add(a.inter.Sample(a.rng)), sim.Payload{Handler: a.id, Kind: evIOArrive})
 }
 
 func (a *IOApp) jobDone(j *task.Job) {
@@ -137,10 +152,7 @@ func (a *IOApp) jobDone(j *task.Job) {
 		// Phase 1 done: the request leaves the CPU for its device wait,
 		// then re-enters the run queue for phase 2.
 		wait := a.Cfg.IOWait.Sample(a.rng)
-		a.sim.After(wait, func(now simtime.Time) {
-			j2 := a.Guest.ReleaseJob(a.Task, a.Cfg.Compute2)
-			a.pending[j2] = arrival
-		})
+		a.sim.PostAfter(wait, sim.Payload{Handler: a.id, Kind: evIOPhase2, Arg0: int64(arrival)})
 		return
 	}
 	if arrival, ok := a.pending[j]; ok {

@@ -15,6 +15,24 @@ import (
 	"rtvirt/internal/task"
 )
 
+// Typed kernel-event kinds. Each workload instance is its own sim.Handler,
+// so kinds only need to be unique within one workload type.
+const (
+	// evClientFire sends the next sporadic trigger.
+	evClientFire uint16 = iota
+	// evClientRelease delivers a trigger after the network delay.
+	evClientRelease
+	// evMemcachedArrive delivers the next memcached request.
+	evMemcachedArrive
+	// evHogStart releases the CPU hog's effectively infinite job.
+	evHogStart
+	// evIOArrive delivers the next two-phase request.
+	evIOArrive
+	// evIOPhase2 re-releases a request after its device wait; Arg0 is the
+	// request's original arrival time.
+	evIOPhase2
+)
+
 // RTApp is the rt-app periodic load generator: it takes a time slice and
 // period as input and simulates a periodic load that runs for a specified
 // duration.
@@ -61,6 +79,7 @@ type SporadicClient struct {
 	sent int
 	sim  *sim.Simulator
 	rng  *sim.RNG
+	id   int32
 }
 
 // NewSporadicClient registers a sporadic task on g and prepares a client
@@ -84,6 +103,7 @@ func NewSporadicClientFor(g *guest.OS, t *task.Task, inter dist.Duration, reques
 		Requests:     requests,
 		sim:          g.VM().Host().Sim,
 	}
+	c.id = c.sim.RegisterHandler(c)
 	t.OnJobDone = func(j *task.Job) {
 		c.Latency.Add(j.Finish.Sub(j.Release))
 	}
@@ -93,7 +113,22 @@ func NewSporadicClientFor(g *guest.OS, t *task.Task, inter dist.Duration, reques
 // Start schedules the request stream beginning at the given instant.
 func (c *SporadicClient) Start(at simtime.Time) {
 	c.rng = c.sim.RNG().Split()
-	c.sim.At(at, c.fire)
+	c.sim.PostAt(at, sim.Payload{Handler: c.id, Kind: evClientFire})
+}
+
+// HandleSimEvent implements sim.Handler.
+func (c *SporadicClient) HandleSimEvent(now simtime.Time, ev sim.Payload) {
+	switch ev.Kind {
+	case evClientFire:
+		c.fire(now)
+	case evClientRelease:
+		// Sporadic model: honour the minimum inter-arrival constraint.
+		if c.Task.EarliestNextRelease() <= now {
+			c.Guest.ReleaseJob(c.Task, 0)
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown client event kind %d", ev.Kind))
+	}
 }
 
 func (c *SporadicClient) fire(now simtime.Time) {
@@ -101,14 +136,10 @@ func (c *SporadicClient) fire(now simtime.Time) {
 		return
 	}
 	c.sent++
-	c.sim.At(now.Add(c.NetworkDelay), func(at simtime.Time) {
-		// Sporadic model: honour the minimum inter-arrival constraint.
-		if c.Task.EarliestNextRelease() <= at {
-			c.Guest.ReleaseJob(c.Task, 0)
-		}
-	})
+	c.sim.PostAt(now.Add(c.NetworkDelay), sim.Payload{Handler: c.id, Kind: evClientRelease})
 	if c.sent < c.Requests {
-		c.sim.At(now.Add(c.InterArrival.Sample(c.rng)), c.fire)
+		c.sim.PostAt(now.Add(c.InterArrival.Sample(c.rng)),
+			sim.Payload{Handler: c.id, Kind: evClientFire})
 	}
 }
 
@@ -216,6 +247,7 @@ type Memcached struct {
 	rng     *sim.RNG
 	sent    int
 	stopped bool
+	id      int32
 }
 
 // NewMemcached registers the memcached RTA on g with the given config.
@@ -242,6 +274,7 @@ func NewMemcached(g *guest.OS, id int, cfg MemcachedConfig) (*Memcached, error) 
 	if m.service == nil {
 		m.service = DefaultServiceDist()
 	}
+	m.id = m.sim.RegisterHandler(m)
 	t.OnJobDone = func(j *task.Job) {
 		m.Latency.Add(j.Finish.Sub(j.Release))
 	}
@@ -251,11 +284,21 @@ func NewMemcached(g *guest.OS, id int, cfg MemcachedConfig) (*Memcached, error) 
 // Start begins the request stream at the given instant.
 func (m *Memcached) Start(at simtime.Time) {
 	m.rng = m.sim.RNG().Split()
-	m.sim.At(at, m.arrive)
+	m.sim.PostAt(at, sim.Payload{Handler: m.id, Kind: evMemcachedArrive})
 }
 
 // Stop ends the request stream after in-flight work completes.
 func (m *Memcached) Stop() { m.stopped = true }
+
+// HandleSimEvent implements sim.Handler.
+func (m *Memcached) HandleSimEvent(now simtime.Time, ev sim.Payload) {
+	switch ev.Kind {
+	case evMemcachedArrive:
+		m.arrive(now)
+	default:
+		panic(fmt.Sprintf("workload: unknown memcached event kind %d", ev.Kind))
+	}
+}
 
 func (m *Memcached) arrive(now simtime.Time) {
 	if m.stopped || (m.Cfg.Requests > 0 && m.sent >= m.Cfg.Requests) {
@@ -263,7 +306,7 @@ func (m *Memcached) arrive(now simtime.Time) {
 	}
 	m.sent++
 	m.Guest.ReleaseJob(m.Task, m.service.Sample(m.rng))
-	m.sim.At(now.Add(m.inter.Sample(m.rng)), m.arrive)
+	m.sim.PostAt(now.Add(m.inter.Sample(m.rng)), sim.Payload{Handler: m.id, Kind: evMemcachedArrive})
 }
 
 // Sent reports the number of requests issued so far.
@@ -274,6 +317,8 @@ func (m *Memcached) Sent() int { return m.sent }
 type CPUHog struct {
 	Task  *task.Task
 	Guest *guest.OS
+
+	id int32
 }
 
 // NewCPUHog registers a background CPU-bound task on g.
@@ -282,14 +327,24 @@ func NewCPUHog(g *guest.OS, id int, name string) (*CPUHog, error) {
 	if err := g.Register(t); err != nil {
 		return nil, err
 	}
-	return &CPUHog{Task: t, Guest: g}, nil
+	h := &CPUHog{Task: t, Guest: g}
+	h.id = g.VM().Host().Sim.RegisterHandler(h)
+	return h, nil
 }
 
 // Start releases one effectively infinite job at the given instant.
 func (h *CPUHog) Start(at simtime.Time) {
-	h.Guest.VM().Host().Sim.At(at, func(now simtime.Time) {
+	h.Guest.VM().Host().Sim.PostAt(at, sim.Payload{Handler: h.id, Kind: evHogStart})
+}
+
+// HandleSimEvent implements sim.Handler.
+func (h *CPUHog) HandleSimEvent(now simtime.Time, ev sim.Payload) {
+	switch ev.Kind {
+	case evHogStart:
 		h.Guest.ReleaseJob(h.Task, simtime.Duration(1<<60))
-	})
+	default:
+		panic(fmt.Sprintf("workload: unknown hog event kind %d", ev.Kind))
+	}
 }
 
 // MissSummary aggregates deadline statistics over a set of tasks.

@@ -38,6 +38,7 @@ import (
 	"io"
 
 	"rtvirt/internal/analyze"
+	"rtvirt/internal/clone"
 	"rtvirt/internal/cluster"
 	"rtvirt/internal/core"
 	"rtvirt/internal/csa"
@@ -134,6 +135,15 @@ func DefaultConfig(stack Stack) SystemConfig { return core.DefaultConfig(stack) 
 
 // DefaultCosts returns the cost model used throughout the evaluation.
 func DefaultCosts() CostModel { return hv.DefaultCosts() }
+
+// CloneCtx is the memo of a deep fork: System.Fork and Cluster.Fork return
+// one mapping every object of the original world to its replica.
+type CloneCtx = clone.Ctx
+
+// CloneGet remaps a reference the caller holds (a task, guest or workload
+// driver) to its replica in a forked world. It panics if v was not part of
+// the forked object graph.
+func CloneGet[T comparable](ctx *CloneCtx, v T) T { return clone.Get(ctx, v) }
 
 // Workloads.
 type (
@@ -389,6 +399,14 @@ type (
 	AblationRow = experiments.AblationRow
 	// RobustnessResult summarises one headline claim across seeds.
 	RobustnessResult = experiments.RobustnessResult
+	// LoadStepConfig tunes the warm-start Figure-5 load sweep.
+	LoadStepConfig = experiments.LoadStepConfig
+	// LoadStepRow is one (arm, hog count) point of the load sweep.
+	LoadStepRow = experiments.LoadStepRow
+	// SurgeRow is one admission-surge point of the forked Figure-4 sweep.
+	SurgeRow = experiments.SurgeRow
+	// BisectResult reports where two systems' dispatch streams part ways.
+	BisectResult = experiments.BisectResult
 )
 
 // Experiment scenarios re-exported from the drivers.
@@ -432,6 +450,18 @@ var (
 	// Robustness re-runs the headline claims across seeds.
 	Robustness       = experiments.Robustness
 	RenderRobustness = experiments.RenderRobustness
+
+	// Warm-start sweeps and the divergence bisector, built on System.Fork.
+	Figure5LoadSteps       = experiments.Figure5LoadSteps
+	DefaultLoadStepConfig  = experiments.DefaultLoadStepConfig
+	RenderLoadSteps        = experiments.RenderLoadSteps
+	Figure4Surge           = experiments.Figure4Surge
+	RenderFigure4Surge     = experiments.RenderFigure4Surge
+	AblationNewcomerForked = experiments.AblationNewcomerForked
+	// Bisect binary-searches simulated time for the first dispatch where
+	// two deterministic systems diverge, forking frontiers instead of
+	// re-simulating prefixes.
+	Bisect = experiments.Bisect
 
 	// IOBound measures the §1 guarantee boundary with an I/O-phase RPC.
 	IOBound  = experiments.IOBound
