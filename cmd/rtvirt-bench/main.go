@@ -9,7 +9,12 @@
 //	rtvirt-bench -experiment fig5a -seconds 30
 //
 // Experiments: fig1, table1, table2, fig3, sporadic, table3, fig4,
-// table4, fig5a, fig5b, table5, table6, all.
+// table4, fig5a, fig5b, table5, table6, quickcheck, all.
+//
+// -experiment quickcheck runs the randomized invariant harness
+// (internal/check/quick): -n scenarios per stack, seeded by -seed; any
+// violation is shrunk to a minimal reproducer, exported with -out, and
+// fails the process.
 package main
 
 import (
@@ -29,11 +34,12 @@ var out *report.Dir
 
 func main() {
 	var (
-		exp        = flag.String("experiment", "all", "which experiment to run (fig1, table1, table2, fig3, sporadic, table3, fig4, table4, fig5a, fig5b, table5, table6, ablations, all)")
+		exp        = flag.String("experiment", "all", "which experiment to run (fig1, table1, table2, fig3, sporadic, table3, fig4, table4, fig5a, fig5b, table5, table6, ablations, quickcheck, all)")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		seconds    = flag.Int64("seconds", 0, "override run length in simulated seconds (0 = per-experiment default)")
 		outDir     = flag.String("out", "", "write machine-readable artifacts (CSV/JSON) to this directory")
 		runs       = flag.Int("runs", 5, "seeds for -experiment robustness")
+		n          = flag.Int("n", 25, "generated scenarios for -experiment quickcheck")
 		parallel   = flag.Int("parallel", 0, "workers for independent simulations (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 		kernel     = flag.Bool("kernel", false, "benchmark the event-queue kernel against the recorded pre-rewrite baseline and exit")
 		benchOut   = flag.String("bench-out", "BENCH_3.json", "output path for the -kernel comparison report")
@@ -84,10 +90,11 @@ func main() {
 		"loadsteps":  func() { runLoadSteps(*seed, *seconds) },
 		"bisect":     func() { runBisect(*seed, *seconds) },
 		"robustness": func() { runRobustness(*runs, *seconds) },
+		"quickcheck": func() { runQuickcheck(*seed, *n, *seconds) },
 	}
 	order := []string{"fig1", "table1", "table2", "fig3", "sporadic", "table3",
 		"fig4", "table4", "fig5a", "fig5b", "table5", "table6", "ablations", "io",
-		"surge", "loadsteps", "bisect", "robustness"}
+		"surge", "loadsteps", "bisect", "robustness", "quickcheck"}
 
 	name := strings.ToLower(*exp)
 	if name == "all" {

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rtvirt/internal/check/quick"
+)
+
+// runQuickcheck drives the randomized invariant harness: n generated
+// scenarios per scheduler stack, every oracle armed plus the mid-run fork
+// bit-identity probe. Violations are shrunk to minimal reproducers; with
+// -out they are exported both as full failure records and as bare
+// scenarios that rtvirt-sim replays directly. Any failure exits nonzero
+// so CI gates on it.
+func runQuickcheck(seed uint64, n int, seconds int64) {
+	rep := quick.Run(quick.Config{Seed: seed, N: n, Seconds: seconds})
+	fmt.Println(rep.Render())
+	if out != nil {
+		for _, f := range rep.Failures {
+			base := fmt.Sprintf("quickcheck-%d-%s", f.Case, f.Stack)
+			if err := out.JSON(base+"-failure.json", f); err != nil {
+				log.Fatal(err)
+			}
+			if err := out.JSON(base+"-repro.json", f.Scenario); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if len(rep.Failures) > 0 {
+		os.Exit(1)
+	}
+}

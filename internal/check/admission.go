@@ -1,0 +1,102 @@
+package check
+
+import (
+	"rtvirt/internal/core"
+	"rtvirt/internal/guest"
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/trace"
+)
+
+// hostAdmitter is the read-only admission view exported by the budgeted
+// host schedulers (dpwrap, rtxen). Credit admits everything, so it has no
+// capacity to audit.
+type hostAdmitter interface {
+	AdmittedBandwidth() float64
+	Capacity() float64
+}
+
+// admitSlop absorbs float summation-order differences between the
+// oracle's re-summation and the scheduler's own admission test.
+const admitSlop = 1e-6
+
+// AdmissionOracle asserts the §3.2 utilization rule at both layers. At
+// the host, the admitted real-time bandwidth must never exceed the
+// scheduler's capacity — audited after every admission verdict, every
+// replenish (the first event to follow a hypercall-driven reservation
+// change), and at the end of the run. At the guest, every Admit verdict
+// carrying a task name triggers a re-audit of that guest's per-VCPU task
+// bandwidth against its VCPU capacity.
+type AdmissionOracle struct {
+	recorder
+	sys    *core.System
+	host   hostAdmitter // nil under Credit
+	guests map[string]*guest.OS
+}
+
+// NewAdmissionOracle creates the admission-soundness oracle.
+func NewAdmissionOracle(sys *core.System) *AdmissionOracle {
+	o := &AdmissionOracle{
+		recorder: recorder{name: "admission"},
+		sys:      sys,
+		guests:   map[string]*guest.OS{},
+	}
+	if ha, ok := sys.Host.Scheduler().(hostAdmitter); ok {
+		o.host = ha
+	}
+	return o
+}
+
+// Consume implements trace.Sink.
+func (o *AdmissionOracle) Consume(ev trace.Event) {
+	switch ev.Kind {
+	case trace.Admit:
+		if ev.Task != "" {
+			o.checkGuest(ev)
+		}
+		o.checkHost(ev.At)
+	case trace.Reject, trace.Replenish,
+		trace.HypercallIncBW, trace.HypercallDecBW, trace.HypercallIncDecBW:
+		o.checkHost(ev.At)
+	}
+}
+
+// checkHost audits the host-level utilization rule.
+func (o *AdmissionOracle) checkHost(at simtime.Time) {
+	if o.host == nil {
+		return
+	}
+	if bw, cap := o.host.AdmittedBandwidth(), o.host.Capacity(); bw > cap+admitSlop {
+		o.flag(at, "host admitted %.6f CPUs of bandwidth over capacity %.6f", bw, cap)
+	}
+}
+
+// checkGuest audits one guest's per-VCPU task bandwidth after a
+// task-level Admit verdict.
+func (o *AdmissionOracle) checkGuest(ev trace.Event) {
+	g := o.guestFor(ev.VM)
+	if g == nil {
+		return // VM not built through core.System guest registry
+	}
+	cap := g.Config().VCPUCapacity
+	for i := 0; i < g.NumVCPUs(); i++ {
+		if bw := g.VCPUBandwidth(i); bw > cap+admitSlop {
+			o.flag(ev.At, "guest %s vcpu%d carries %.6f of task bandwidth over capacity %.6f (admitting %q)",
+				ev.VM, i, bw, cap, ev.Task)
+		}
+	}
+}
+
+// guestFor resolves a VM name, refreshing the cache on miss (guests are
+// created after the oracle attaches).
+func (o *AdmissionOracle) guestFor(vm string) *guest.OS {
+	if g, ok := o.guests[vm]; ok {
+		return g
+	}
+	for _, g := range o.sys.Guests() {
+		o.guests[g.VM().Name] = g
+	}
+	return o.guests[vm]
+}
+
+// Finish implements Oracle.
+func (o *AdmissionOracle) Finish(now simtime.Time) { o.checkHost(now) }

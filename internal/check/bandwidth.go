@@ -1,0 +1,128 @@
+package check
+
+import (
+	"rtvirt/internal/hv"
+	"rtvirt/internal/sched/credit"
+	"rtvirt/internal/sched/dpwrap"
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/trace"
+)
+
+// BandwidthOracle asserts bandwidth conservation: no Replenish grant may
+// exceed the VCPU's reservation pro-rated over the span it covers.
+//
+// The span depends on the scheduler. DP-WRAP grants a quota per global
+// slice, always emitted at the slice start while the slice bounds are
+// current, so each grant is bounded by bandwidth × slice length (+1ns of
+// floor-division rounding). RT-Xen replenishes to full budget once per
+// server period, and a capped Credit VCPU refills cap × AccountPeriod per
+// accounting period — for both, each grant is bounded by bandwidth × the
+// gap since the VCPU's previous Replenish (the first grant has no gap and
+// is skipped). Uncapped Credit VCPUs have no reservation semantics and
+// are ignored.
+//
+// Deliberately NOT asserted: a cumulative per-period ledger under
+// DP-WRAP. A cross-layer replan (SlotUpdated) cuts the current slice
+// short and replans from now; the unelapsed remainder of the old grant is
+// not refunded to the carry, so the sum of grants over a period may
+// exceed the budget even though the time actually *consumed* cannot
+// (BudgetOracle bounds consumption per grant).
+type BandwidthOracle struct {
+	recorder
+	host *hv.Host
+	dp   *dpwrap.Scheduler
+	cr   *credit.Scheduler
+
+	last  map[vcpuKey]simtime.Time
+	byKey map[vcpuKey]*hv.VCPU
+}
+
+type vcpuKey struct {
+	vm  string
+	idx int
+}
+
+// NewBandwidthOracle creates the bandwidth-conservation oracle for the
+// host's scheduler.
+func NewBandwidthOracle(h *hv.Host) *BandwidthOracle {
+	o := &BandwidthOracle{
+		recorder: recorder{name: "bandwidth"},
+		host:     h,
+		last:     map[vcpuKey]simtime.Time{},
+		byKey:    map[vcpuKey]*hv.VCPU{},
+	}
+	switch s := h.Scheduler().(type) {
+	case *dpwrap.Scheduler:
+		o.dp = s
+	case *credit.Scheduler:
+		o.cr = s
+	}
+	return o
+}
+
+// lookup resolves an event's (VM, VCPU index) to the live VCPU, refreshing
+// the cache on miss (VCPUs can appear later via hotplug).
+func (o *BandwidthOracle) lookup(k vcpuKey) *hv.VCPU {
+	if v, ok := o.byKey[k]; ok {
+		return v
+	}
+	for _, v := range o.host.VCPUs() {
+		o.byKey[vcpuKey{v.VM.Name, v.Index}] = v
+	}
+	return o.byKey[k]
+}
+
+// Consume implements trace.Sink.
+func (o *BandwidthOracle) Consume(ev trace.Event) {
+	if ev.Kind != trace.Replenish {
+		return
+	}
+	k := vcpuKey{ev.VM, ev.VCPU}
+	v := o.lookup(k)
+	if v == nil {
+		o.flag(ev.At, "replenish for unknown VCPU %s/vcpu%d", ev.VM, ev.VCPU)
+		return
+	}
+	if o.cr != nil && o.cr.CapOf(v) == 0 {
+		return // uncapped Credit share: no reservation to conserve
+	}
+	if v.Res.Period <= 0 || v.Res.Budget <= 0 {
+		o.flag(ev.At, "%s/vcpu%d granted %v with no reservation",
+			ev.VM, ev.VCPU, simtime.Duration(ev.Arg))
+		return
+	}
+	if o.dp != nil {
+		start, end := o.dp.SliceBounds()
+		if ev.At != start {
+			o.flag(ev.At, "%s/vcpu%d quota granted outside its slice start %v", ev.VM, ev.VCPU, start)
+			return
+		}
+		o.bound(ev, v, end.Sub(start), "slice")
+		return
+	}
+	lastAt, seen := o.last[k]
+	o.last[k] = ev.At
+	if !seen {
+		return // no previous grant to measure a span from
+	}
+	gap := ev.At.Sub(lastAt)
+	if gap <= 0 {
+		o.flag(ev.At, "%s/vcpu%d replenished twice at the same instant", ev.VM, ev.VCPU)
+		return
+	}
+	o.bound(ev, v, gap, "period")
+}
+
+// bound flags a grant exceeding bandwidth × span, with 1ns of slack for
+// the schedulers' floor-division rounding.
+func (o *BandwidthOracle) bound(ev trace.Event, v *hv.VCPU, span simtime.Duration, what string) {
+	limit := int64(span)*int64(v.Res.Budget)/int64(v.Res.Period) + 1
+	if ev.Arg > limit {
+		o.flag(ev.At, "%s/vcpu%d granted %v over a %v %s — limit %v for reservation %v",
+			ev.VM, ev.VCPU, simtime.Duration(ev.Arg), span, what,
+			simtime.Duration(limit), v.Res)
+	}
+}
+
+// Finish implements Oracle.
+func (o *BandwidthOracle) Finish(simtime.Time) {}

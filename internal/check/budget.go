@@ -1,0 +1,32 @@
+package check
+
+import (
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/trace"
+)
+
+// BudgetOracle asserts budget non-negativity. All three budgeted
+// schedulers (RT-Xen deferrable/polling servers, DP-WRAP slice quotas,
+// Credit caps) report the overdraw — time charged beyond the remaining
+// budget — in the Arg of their Deplete events. The kernel's allocations
+// never exceed the granted run, so a correct scheduler always reports
+// zero; any positive overdraw is an accounting bug.
+type BudgetOracle struct {
+	recorder
+}
+
+// NewBudgetOracle creates the budget non-negativity oracle.
+func NewBudgetOracle() *BudgetOracle {
+	return &BudgetOracle{recorder{name: "budget"}}
+}
+
+// Consume implements trace.Sink.
+func (o *BudgetOracle) Consume(ev trace.Event) {
+	if ev.Kind == trace.Deplete && ev.Arg > 0 {
+		o.flag(ev.At, "%s/vcpu%d overdrew its budget by %v on pcpu%d",
+			ev.VM, ev.VCPU, simtime.Duration(ev.Arg), ev.PCPU)
+	}
+}
+
+// Finish implements Oracle.
+func (o *BudgetOracle) Finish(simtime.Time) {}

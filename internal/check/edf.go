@@ -1,0 +1,147 @@
+package check
+
+import (
+	"rtvirt/internal/hv"
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/trace"
+)
+
+// ServerStateReader is the read-only server accounting view the EDF
+// oracle audits against; *rtxen.Scheduler implements it.
+type ServerStateReader interface {
+	ServerState(v *hv.VCPU, now simtime.Time) (budget simtime.Duration, deadline simtime.Time, ok bool)
+}
+
+// EDFOracle asserts global-EDF dispatch-order soundness for the RT-Xen
+// server schedulers (deferrable and polling): once the scheduler settles,
+// no eligible server — runnable, positive budget, not dispatched anywhere
+// — waits while a PCPU runs a later-deadline server, background work, or
+// nothing at all.
+//
+// "Settles" is the load-bearing word. Within a single simulated instant
+// the bus observes mid-transition states: a Preempt is emitted while the
+// outgoing VCPU is still dispatched, a wake's preemptCheck kicks its
+// target only after the wake event's own processing, and same-instant
+// event FIFO order means a replenished server can briefly coexist with a
+// stale pick. The oracle therefore never judges an instant in isolation:
+// it records a candidate inversion, and confirms it only when the next
+// event arrives at a strictly later time with the exact same pair still
+// inverted — the earlier-deadline server still waiting with the same
+// deadline and budget left, the same occupant still holding the same
+// PCPU. Between events no state changes, so a confirmed pair really did
+// run the wrong server across a non-zero span of simulated time. The
+// strict re-match can only under-report (a real inversion whose players
+// change at the boundary is dropped), never false-positive.
+type EDFOracle struct {
+	recorder
+	host  *hv.Host
+	sched ServerStateReader
+
+	pending bool
+	cand    edfCandidate
+}
+
+// edfCandidate is a suspected inversion awaiting confirmation.
+type edfCandidate struct {
+	at        simtime.Time
+	p         *hv.PCPU
+	u         *hv.VCPU // the waiting earlier-deadline server
+	w         *hv.VCPU // the occupant (nil = PCPU idle)
+	uDeadline simtime.Time
+	wDeadline simtime.Time // simtime.Never for idle/background occupants
+	wIsServer bool
+}
+
+// NewEDFOracle creates the dispatch-order oracle for an RT-Xen scheduler.
+func NewEDFOracle(h *hv.Host, s ServerStateReader) *EDFOracle {
+	return &EDFOracle{recorder: recorder{name: "edf-order"}, host: h, sched: s}
+}
+
+// Consume implements trace.Sink: every event is an observation point. The
+// event's content is irrelevant — what matters is that time may have
+// advanced, which confirms or clears the pending candidate, and that the
+// scheduler state may have changed, which can seed a new one.
+func (o *EDFOracle) Consume(ev trace.Event) {
+	now := ev.At
+	if o.pending && now > o.cand.at {
+		o.confirm(now)
+	}
+	// Re-scan on every event: within an instant, later observations
+	// supersede earlier ones, so the pending candidate is always the
+	// instant's last settled view rather than a mid-transition ghost.
+	o.pending = false
+	o.scan(now)
+}
+
+// scan looks for an inversion in the live settled state and records it as
+// a candidate (confirmation waits for the next distinct timestamp).
+func (o *EDFOracle) scan(now simtime.Time) {
+	for _, p := range o.host.PCPUs() {
+		cur := p.Current()
+		curDl := simtime.Never // idle and background occupants rank last
+		curIsServer := false
+		if cur != nil {
+			if _, dl, ok := o.sched.ServerState(cur, now); ok {
+				curDl, curIsServer = dl, true
+			}
+		}
+		for _, v := range o.host.VCPUs() {
+			if v == cur || !v.Runnable() || v.OnPCPU() != nil {
+				continue
+			}
+			b, dl, ok := o.sched.ServerState(v, now)
+			if !ok || b <= 0 {
+				continue
+			}
+			if dl < curDl {
+				o.pending = true
+				o.cand = edfCandidate{at: now, p: p, u: v, w: cur,
+					uDeadline: dl, wDeadline: curDl, wIsServer: curIsServer}
+				return
+			}
+		}
+	}
+}
+
+// confirm re-checks the candidate against the state settled at the end of
+// its instant; the inversion is real only if the identical pair held.
+func (o *EDFOracle) confirm(now simtime.Time) {
+	c := o.cand
+	if c.p.Current() != c.w {
+		return
+	}
+	if c.w != nil && c.wIsServer {
+		_, dl, ok := o.sched.ServerState(c.w, now)
+		if !ok || dl != c.wDeadline {
+			return
+		}
+	}
+	if !c.u.Runnable() || c.u.OnPCPU() != nil {
+		return
+	}
+	b, dl, ok := o.sched.ServerState(c.u, now)
+	if !ok || b <= 0 || dl != c.uDeadline {
+		return
+	}
+	occupant := "idle"
+	if c.w != nil {
+		occupant = c.w.String()
+		if c.wIsServer {
+			occupant += " (deadline " + c.wDeadline.String() + ")"
+		} else {
+			occupant += " (background)"
+		}
+	}
+	o.flag(c.at, "EDF inversion: eligible %v (deadline %v) waited while pcpu%d ran %s across [%v, %v]",
+		c.u, c.uDeadline, c.p.ID, occupant, c.at, now)
+}
+
+// Finish implements Oracle. A candidate still pending at the end of the
+// run persisted from its instant to the final time, so it is judged once
+// more against the final state.
+func (o *EDFOracle) Finish(now simtime.Time) {
+	if o.pending && now > o.cand.at {
+		o.confirm(now)
+		o.pending = false
+	}
+}

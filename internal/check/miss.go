@@ -1,0 +1,58 @@
+package check
+
+import (
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/trace"
+)
+
+// MissOracle flags missed deadlines in a CONFIRMED-admitted task set: the
+// paper's central guarantee (§3.2) is that a task the cross-layer stack
+// admits meets its deadlines. The caller names the tasks the guarantee
+// covers ("vm/task" keys — periodic tasks under the RTVirt stack; the
+// generator in check/quick excludes sporadic tasks, whose Normal arrival
+// model can legally burst past the declared rate). A watched task is
+// armed by the guest's Admit verdict carrying its name and disarmed by a
+// later Reject (e.g. a rejected attribute change that leaves it demoted),
+// so only misses with the admission actually CONFIRMED are violations.
+type MissOracle struct {
+	recorder
+	watch    map[string]bool
+	admitted map[string]bool
+}
+
+// NewMissOracle creates the deadline oracle over "vm/task" keys.
+func NewMissOracle(neverMiss []string) *MissOracle {
+	o := &MissOracle{
+		recorder: recorder{name: "deadline"},
+		watch:    map[string]bool{},
+		admitted: map[string]bool{},
+	}
+	for _, k := range neverMiss {
+		o.watch[k] = true
+	}
+	return o
+}
+
+// Consume implements trace.Sink.
+func (o *MissOracle) Consume(ev trace.Event) {
+	if ev.Task == "" {
+		return
+	}
+	key := ev.VM + "/" + ev.Task
+	switch ev.Kind {
+	case trace.Admit:
+		if o.watch[key] {
+			o.admitted[key] = true
+		}
+	case trace.Reject:
+		delete(o.admitted, key)
+	case trace.JobMiss:
+		if o.admitted[key] {
+			o.flag(ev.At, "%s missed its deadline by %v despite confirmed admission",
+				key, simtime.Duration(ev.Arg))
+		}
+	}
+}
+
+// Finish implements Oracle.
+func (o *MissOracle) Finish(simtime.Time) {}

@@ -1,0 +1,53 @@
+package check
+
+import (
+	"rtvirt/internal/hv"
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/trace"
+)
+
+// ParityOracle asserts event/counter accounting parity: every hypercall
+// the host charges (Overhead.Hypercalls) must emit exactly one
+// HypercallIncBW/DecBW/IncDecBW event, and every migration charge
+// (Overhead.Migrations) exactly one Migrate event. The counters and the
+// emissions live at the same sites by construction; this oracle keeps
+// them from drifting apart as the code grows. Counter baselines are taken
+// at attach time, so a suite armed mid-run audits only its own window.
+type ParityOracle struct {
+	recorder
+	host    *hv.Host
+	baseHc  uint64
+	baseMig uint64
+	hc      uint64
+	mig     uint64
+}
+
+// NewParityOracle creates the accounting-parity oracle.
+func NewParityOracle(h *hv.Host) *ParityOracle {
+	return &ParityOracle{
+		recorder: recorder{name: "parity"},
+		host:     h,
+		baseHc:   h.Overhead.Hypercalls,
+		baseMig:  h.Overhead.Migrations,
+	}
+}
+
+// Consume implements trace.Sink.
+func (o *ParityOracle) Consume(ev trace.Event) {
+	switch ev.Kind {
+	case trace.HypercallIncBW, trace.HypercallDecBW, trace.HypercallIncDecBW:
+		o.hc++
+	case trace.Migrate:
+		o.mig++
+	}
+}
+
+// Finish implements Oracle.
+func (o *ParityOracle) Finish(now simtime.Time) {
+	if got := o.host.Overhead.Hypercalls - o.baseHc; got != o.hc {
+		o.flag(now, "hypercall parity broken: %d charged, %d events emitted", got, o.hc)
+	}
+	if got := o.host.Overhead.Migrations - o.baseMig; got != o.mig {
+		o.flag(now, "migration parity broken: %d charged, %d events emitted", got, o.mig)
+	}
+}

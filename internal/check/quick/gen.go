@@ -1,0 +1,121 @@
+package quick
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rtvirt/internal/scenario"
+)
+
+// periodsMS is the pool of task/server periods (milliseconds). Mutually
+// non-harmonic values (7, 13, 33) are deliberately included: harmonic task
+// sets hide phasing bugs that co-prime periods expose.
+var periodsMS = []int64{5, 7, 10, 13, 20, 33, 50}
+
+// genBounds are the generator's envelope. The utilization cap stays well
+// under every stack's schedulable region (gEDF and pEDF are both safe at
+// 0.65·m for bounded per-task utilization), so any deadline miss of a
+// confirmed-admitted task under RTVirt is a genuine violation, not an
+// overload artifact.
+const (
+	maxPCPUs      = 4
+	maxVMs        = 3
+	maxTasksPerVM = 3
+	utilCap       = 0.65 // of total host capacity
+	taskUtilCap   = 0.25 // per task
+)
+
+// Generate draws one random-but-valid scenario from rng. The result always
+// passes scenario.Validate; host- and guest-level admission may still
+// reject pieces of it at build time, which the runner records as a skip.
+// Stack and Seed are left zero — the runner overrides both.
+func Generate(rng *rand.Rand) scenario.Scenario {
+	pcpus := 1 + rng.Intn(maxPCPUs)
+	budget := utilCap * float64(pcpus)
+	used := 0.0
+
+	sc := scenario.Scenario{PCPUs: pcpus}
+	nVMs := 1 + rng.Intn(maxVMs)
+	for v := 0; v < nVMs; v++ {
+		vm := scenario.VM{Name: fmt.Sprintf("vm%d", v)}
+		serverStyle := rng.Intn(2) == 0
+		if serverStyle {
+			nSrv := 1 + rng.Intn(2)
+			for s := 0; s < nSrv; s++ {
+				u := 0.10 + 0.30*rng.Float64()
+				if used+u > budget {
+					break
+				}
+				used += u
+				p := periodsMS[rng.Intn(len(periodsMS))] * 1000
+				vm.Servers = append(vm.Servers, scenario.ServerSpec{
+					BudgetUS: int64(u * float64(p)),
+					PeriodUS: p,
+				})
+			}
+			if len(vm.Servers) == 0 {
+				// Out of budget before the first server: degrade to a
+				// minimal vcpus-style VM instead of an invalid empty one.
+				serverStyle = false
+			}
+		}
+		if !serverStyle {
+			vm.VCPUs = 1 + rng.Intn(2)
+		}
+
+		nTasks := 1 + rng.Intn(maxTasksPerVM)
+		for t := 0; t < nTasks; t++ {
+			u := 0.02 + (taskUtilCap-0.02)*rng.Float64()
+			if !serverStyle {
+				if used+u > budget {
+					break
+				}
+				used += u
+			}
+			p := periodsMS[rng.Intn(len(periodsMS))] * 1000
+			slice := int64(u * float64(p))
+			if slice < 100 {
+				slice = 100
+			}
+			ts := scenario.TaskSpec{
+				Name:     fmt.Sprintf("t%d", t),
+				SliceUS:  slice,
+				PeriodUS: p,
+			}
+			if rng.Float64() < 0.2 {
+				// Sporadic arrivals, mean inter-arrival comfortably above
+				// the period so the Normal model's bursts stay bounded.
+				ts.Kind = "sporadic"
+				ts.RateHz = (0.3 + 0.4*rng.Float64()) * 1e6 / float64(p)
+			} else if rng.Intn(2) == 0 {
+				ts.PhaseMS = int64(rng.Intn(10))
+			}
+			vm.Tasks = append(vm.Tasks, ts)
+		}
+		if rng.Float64() < 0.25 {
+			vm.Tasks = append(vm.Tasks, scenario.TaskSpec{Name: "bg", Kind: "background"})
+		}
+		sc.VMs = append(sc.VMs, vm)
+	}
+	return sc
+}
+
+// NeverMiss lists the "vm/task" keys §3.2's guarantee covers in sc:
+// periodic tasks of admission-controlled (vcpus-style) VMs. Server-style
+// VMs carry whatever reservations the generator drew — their supply can be
+// legitimately mis-phased against a task's period — and sporadic tasks may
+// burst past their declared rate, so neither is watched.
+func NeverMiss(sc scenario.Scenario) []string {
+	var keys []string
+	for _, vm := range sc.VMs {
+		if len(vm.Servers) > 0 {
+			continue
+		}
+		for _, ts := range vm.Tasks {
+			if ts.Kind == "" || ts.Kind == "periodic" {
+				keys = append(keys, vm.Name+"/"+ts.Name)
+			}
+		}
+	}
+	return keys
+}

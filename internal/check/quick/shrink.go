@@ -1,0 +1,123 @@
+package quick
+
+import (
+	"rtvirt/internal/check"
+	"rtvirt/internal/core"
+	"rtvirt/internal/scenario"
+)
+
+// Shrink greedily minimizes a violating scenario by delta-debugging: it
+// repeatedly tries structural reductions — drop a VM, drop a task, drop a
+// server reservation, halve the run length, remove a PCPU — and adopts any
+// candidate that still violates an invariant, restarting the scan from the
+// reduced world until a fixpoint or the run budget. Returns the minimized
+// scenario, its violations, the number of accepted reductions, and the
+// simulations spent.
+//
+// "Still fails" means any violation at all, not the original one: chasing
+// a specific oracle across reductions is fragile (shrinking often morphs a
+// bandwidth breach into the budget breach underneath it), and any minimal
+// violating world is a good reproducer.
+func Shrink(sc scenario.Scenario, stack core.Stack, forkCheck bool, maxRuns int) (scenario.Scenario, []check.Violation, int, int) {
+	runs := 0
+	probe := func(c scenario.Scenario) []check.Violation {
+		runs++
+		vs, err := runOne(c, stack, forkCheck)
+		if err != nil {
+			// Build rejections count as "does not fail".
+			return nil
+		}
+		return vs
+	}
+	min, vs, steps := shrinkWith(sc, probe, func() bool { return runs >= maxRuns })
+	return min, vs, steps, runs
+}
+
+// shrinkWith is the probe-agnostic shrinking loop: probe returns the
+// candidate's violations (empty = candidate passes), exhausted stops the
+// walk early. Separated from Shrink so the mechanics are testable with a
+// synthetic predicate.
+func shrinkWith(sc scenario.Scenario, probe func(scenario.Scenario) []check.Violation, exhausted func() bool) (scenario.Scenario, []check.Violation, int) {
+	cur := sc
+	curVs := probe(cur)
+	if len(curVs) == 0 {
+		// The caller observed a violation but the repro does not fail in
+		// isolation — report it unshrunk rather than lose it.
+		return cur, curVs, 0
+	}
+	steps := 0
+	for !exhausted() {
+		cand, vs, ok := firstFailing(cur, probe, exhausted)
+		if !ok {
+			break
+		}
+		cur, curVs = cand, vs
+		steps++
+	}
+	return cur, curVs, steps
+}
+
+// firstFailing returns the first one-step reduction that still fails.
+func firstFailing(sc scenario.Scenario, probe func(scenario.Scenario) []check.Violation, exhausted func() bool) (scenario.Scenario, []check.Violation, bool) {
+	for _, cand := range reductions(sc) {
+		if exhausted() {
+			return scenario.Scenario{}, nil, false
+		}
+		if vs := probe(cand); len(vs) > 0 {
+			return cand, vs, true
+		}
+	}
+	return scenario.Scenario{}, nil, false
+}
+
+// reductions enumerates one-step-smaller variants of sc, structurally
+// boldest first (whole VMs before single tasks) so the greedy walk takes
+// big steps early.
+func reductions(sc scenario.Scenario) []scenario.Scenario {
+	var out []scenario.Scenario
+	if len(sc.VMs) > 1 {
+		for i := range sc.VMs {
+			c := cloneScenario(sc)
+			c.VMs = append(c.VMs[:i], c.VMs[i+1:]...)
+			out = append(out, c)
+		}
+	}
+	for i, vm := range sc.VMs {
+		for j := range vm.Tasks {
+			c := cloneScenario(sc)
+			c.VMs[i].Tasks = append(c.VMs[i].Tasks[:j], c.VMs[i].Tasks[j+1:]...)
+			out = append(out, c)
+		}
+		if len(vm.Servers) > 1 {
+			for j := range vm.Servers {
+				c := cloneScenario(sc)
+				c.VMs[i].Servers = append(c.VMs[i].Servers[:j], c.VMs[i].Servers[j+1:]...)
+				out = append(out, c)
+			}
+		}
+	}
+	if sc.PCPUs > 1 {
+		c := cloneScenario(sc)
+		c.PCPUs--
+		out = append(out, c)
+	}
+	if sc.Seconds > 1 {
+		c := cloneScenario(sc)
+		c.Seconds /= 2
+		out = append(out, c)
+	}
+	return out
+}
+
+// cloneScenario deep-copies the slices reductions mutate.
+func cloneScenario(sc scenario.Scenario) scenario.Scenario {
+	c := sc
+	c.VMs = make([]scenario.VM, len(sc.VMs))
+	for i, vm := range sc.VMs {
+		cv := vm
+		cv.Servers = append([]scenario.ServerSpec(nil), vm.Servers...)
+		cv.Tasks = append([]scenario.TaskSpec(nil), vm.Tasks...)
+		c.VMs[i] = cv
+	}
+	return c
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"rtvirt/internal/sim"
+	"rtvirt/internal/simtime"
+)
+
+// TestP2AdversarialDistributions pins the P² estimator's worst-case
+// relative error against exact quantiles on the distributions that break
+// streaming estimators: point masses (piecewise-constant CDFs), bimodal
+// mixtures whose target quantile sits inside a mode gap, heavy tails, and
+// adversarially ordered (monotone) streams. The bounds are empirical
+// ceilings for these seeds — regressions in the marker update (e.g. a
+// broken parabolic fallback) blow far past them, while refactors that
+// keep the algorithm intact stay well inside.
+func TestP2AdversarialDistributions(t *testing.T) {
+	const samples = 60000
+	cases := []struct {
+		name string
+		gen  func(i int, rng *sim.RNG) simtime.Duration
+		// quantile → max |est-exact|/exact allowed
+		bounds map[float64]float64
+	}{
+		{
+			// Degenerate distribution: every marker collapses onto the
+			// single support point, so the estimate must be exact.
+			name: "constant",
+			gen: func(int, *sim.RNG) simtime.Duration {
+				return simtime.Millisecond
+			},
+			bounds: map[float64]float64{0.5: 0, 0.9: 0, 0.999: 0},
+		},
+		{
+			// 90% fast mode at ~1ms, 10% slow mode at ~100ms, nothing in
+			// between. Quantiles inside a mode are easy; the CDF jump at
+			// q=0.9 means a tiny rank error translates into a two-decade
+			// value error, which is exactly what P²'s parabolic
+			// interpolation smooths across — so no bound is pinned at the
+			// jump itself, and the in-mode bounds stay meaningful.
+			name: "bimodal",
+			gen: func(_ int, rng *sim.RNG) simtime.Duration {
+				base := simtime.Millisecond
+				if rng.Float64() < 0.1 {
+					base = 100 * simtime.Millisecond
+				}
+				jitter := simtime.Duration(rng.Int63n(int64(base) / 10))
+				return base + jitter
+			},
+			bounds: map[float64]float64{0.5: 0.02, 0.99: 0.05},
+		},
+		{
+			// Pareto(α=1.5): infinite variance, the tail quantile rides
+			// on a handful of enormous samples.
+			name: "heavy-tail",
+			gen: func(_ int, rng *sim.RNG) simtime.Duration {
+				u := rng.Float64()
+				for u == 0 {
+					u = rng.Float64()
+				}
+				x := 1e5 / math.Pow(u, 1/1.5)
+				if x > 1e12 {
+					x = 1e12
+				}
+				return simtime.Duration(x)
+			},
+			bounds: map[float64]float64{0.5: 0.05, 0.9: 0.05, 0.99: 0.25},
+		},
+		{
+			// Monotone ascending stream: every sample lands in the top
+			// cell, the classic P² stressor (markers must keep chasing
+			// the moving maximum).
+			name: "ascending-ramp",
+			gen: func(i int, _ *sim.RNG) simtime.Duration {
+				return simtime.Duration(1000 + i)
+			},
+			bounds: map[float64]float64{0.5: 0.05, 0.9: 0.05, 0.999: 0.05},
+		},
+		{
+			// Monotone descending: the mirror image, stressing the low
+			// markers.
+			name: "descending-ramp",
+			gen: func(i int, _ *sim.RNG) simtime.Duration {
+				return simtime.Duration(1000 + samples - i)
+			},
+			bounds: map[float64]float64{0.5: 0.05, 0.9: 0.05, 0.999: 0.05},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for q, maxRel := range tc.bounds {
+				rng := sim.NewRNG(17)
+				est := NewP2Quantile(q)
+				var exact LatencyRecorder
+				for i := 0; i < samples; i++ {
+					v := tc.gen(i, rng)
+					est.Add(v)
+					exact.Add(v)
+				}
+				want := float64(exact.Percentile(q * 100))
+				got := float64(est.Value())
+				rel := math.Abs(got-want) / want
+				if rel > maxRel {
+					t.Errorf("q=%g: P² %v vs exact %v (rel %.4f > %.4f)",
+						q, simtime.Duration(got), simtime.Duration(want), rel, maxRel)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"rtvirt/internal/hv"
+	"rtvirt/internal/simtime"
+)
+
+// FuzzScenarioJSON holds the scenario codec to two properties under
+// arbitrary input: Parse never panics, and any scenario that parses AND
+// validates survives a marshal/re-parse round trip unchanged (so repro
+// files written by the quickcheck shrinker replay exactly). Run it with
+//
+//	go test ./internal/scenario -fuzz FuzzScenarioJSON
+//
+// Seed corpus: f.Add calls below plus testdata/fuzz/FuzzScenarioJSON.
+func FuzzScenarioJSON(f *testing.F) {
+	f.Add([]byte(`{"stack":"rtvirt","pcpus":2,"seconds":1,"vms":[
+		{"name":"a","vcpus":1,"tasks":[{"name":"t","slice_us":500,"period_us":5000}]}]}`))
+	f.Add([]byte(`{"stack":"rt-xen","vms":[{"name":"b",
+		"servers":[{"budget_us":4000,"period_us":10000}],
+		"tasks":[{"name":"s","kind":"sporadic","slice_us":100,"period_us":7000,"rate_hz":20}]}]}`))
+	f.Add([]byte(`{"costs":{"hypercall_us":1.5},"vms":[{"name":"c","tasks":[{"name":"bg","kind":"background"}]}]}`))
+	f.Add([]byte(`{"vms":[]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if sc.Validate() != nil {
+			return
+		}
+		out, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("valid scenario does not marshal: %v", err)
+		}
+		back, err := Parse(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-parse of marshaled scenario failed: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(sc, back) {
+			t.Fatalf("round trip changed the scenario:\nin:  %+v\nout: %+v", sc, back)
+		}
+	})
+}
+
+// FuzzCostsBlock stresses the costs override block in isolation:
+// validation must reject every block that would corrupt the cost model
+// (negative, NaN, Inf), and any block that passes validation must apply
+// to non-negative durations without panicking.
+func FuzzCostsBlock(f *testing.F) {
+	f.Add(`{"context_switch_us":2,"migration_us":3,"hypercall_us":10}`)
+	f.Add(`{"hypercall_us":0}`)
+	f.Add(`{"migration_us":1e-3}`)
+	f.Add(`{"context_switch_us":-1}`)
+	f.Add(`{}`)
+	f.Fuzz(func(t *testing.T, block string) {
+		raw := []byte(`{"vms":[{"name":"a"}],"costs":` + block + `}`)
+		sc, err := Parse(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if sc.Validate() != nil {
+			return
+		}
+		cm := hv.DefaultCosts()
+		if sc.Costs != nil {
+			sc.Costs.apply(&cm)
+		}
+		for _, d := range []simtime.Duration{cm.ContextSwitch, cm.Migration, cm.Hypercall} {
+			if d < 0 {
+				t.Fatalf("validated costs block %q applied to a negative duration: %+v", block, cm)
+			}
+		}
+	})
+}

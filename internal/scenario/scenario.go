@@ -233,10 +233,50 @@ type Options struct {
 	// Sinks are additional telemetry consumers (e.g. a trace.JSONL
 	// exporter) attached for the whole run.
 	Sinks []trace.Sink
+	// OnSystem, when set, runs right after the system is built and the
+	// sinks are attached, before any guest exists. Invariant oracles that
+	// need the live host or scheduler (internal/check) hook in here.
+	OnSystem func(*core.System)
+}
+
+// bound ties a task spec to its built task, guest, and latency recorder.
+type bound struct {
+	spec  TaskSpec
+	vm    string
+	task  *task.Task
+	guest *guest.OS
+	lat   *metrics.LatencyRecorder
+}
+
+// World is a built-but-not-started scenario: the system is constructed,
+// telemetry sinks are attached, and every guest and task is registered,
+// but the host has not started and no workload has been released. Callers
+// that need to drive the simulation themselves (forking mid-run, pausing
+// at checkpoints) use Build/Start/Finish; Run wraps the whole lifecycle.
+type World struct {
+	Sys     *core.System
+	Stack   core.Stack
+	Seconds int64
+
+	all    []bound
+	rec    *trace.Recorder
+	counts *trace.Counts
 }
 
 // Run executes the scenario and returns its results.
 func Run(sc Scenario, opts Options) (*Result, error) {
+	w, err := Build(sc, opts)
+	if err != nil {
+		return nil, err
+	}
+	w.Start()
+	w.Sys.Run(simtime.Duration(w.Seconds) * simtime.Second)
+	return w.Finish(), nil
+}
+
+// Build validates the scenario and constructs its world without starting
+// the host or releasing any workload.
+func Build(sc Scenario, opts Options) (*World, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -272,14 +312,10 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 		counts = &trace.Counts{}
 		sys.Host.TraceTo(counts)
 	}
-
-	type bound struct {
-		spec  TaskSpec
-		vm    string
-		task  *task.Task
-		guest *guest.OS
-		lat   *metrics.LatencyRecorder
+	if opts.OnSystem != nil {
+		opts.OnSystem(sys)
 	}
+
 	var all []bound
 	id := 0
 	for _, vmSpec := range sc.VMs {
@@ -301,9 +337,16 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 	if seconds <= 0 {
 		seconds = 10
 	}
-	sys.Start()
-	for i := range all {
-		b := &all[i]
+	return &World{Sys: sys, Stack: stack, Seconds: seconds, all: all, rec: rec, counts: counts}, nil
+}
+
+// Start starts the host and releases the scenario's workload. The caller
+// then drives the simulation (w.Sys.Run or finer-grained stepping) and
+// collects the outcome with Finish.
+func (w *World) Start() {
+	w.Sys.Start()
+	for i := range w.all {
+		b := &w.all[i]
 		switch b.spec.Kind {
 		case "periodic", "":
 			b.guest.StartPeriodic(b.task,
@@ -316,32 +359,33 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 			mean := simtime.Duration(float64(simtime.Second) / rate)
 			client := workload.NewSporadicClientFor(b.guest, b.task,
 				dist.Normal{MeanD: mean, Stddev: mean / 4, Min: simtime.Micros(100)},
-				int(seconds)*int(rate)+16)
+				int(w.Seconds)*int(rate)+16)
 			b.lat = &client.Latency
 			client.Start(0)
 		case "background":
 			g, tk := b.guest, b.task
-			sys.Sim.At(0, func(now simtime.Time) {
+			w.Sys.Sim.At(0, func(now simtime.Time) {
 				g.ReleaseJob(tk, simtime.Duration(1<<60))
 			})
 		}
 	}
+}
 
-	sys.Run(simtime.Duration(seconds) * simtime.Second)
-	sys.Host.Sync()
-
+// Finish settles host accounting and assembles the run's results.
+func (w *World) Finish() *Result {
+	w.Sys.Host.Sync()
 	res := &Result{
-		Stack:       stack,
-		PCPUs:       cfg.PCPUs,
-		Seconds:     seconds,
-		AllocatedBW: sys.AllocatedBandwidth(),
-		Overhead:    sys.Overhead(),
-		Trace:       rec,
+		Stack:       w.Stack,
+		PCPUs:       w.Sys.Cfg.PCPUs,
+		Seconds:     w.Seconds,
+		AllocatedBW: w.Sys.AllocatedBandwidth(),
+		Overhead:    w.Sys.Overhead(),
+		Trace:       w.rec,
 	}
-	if counts != nil {
-		res.Events = *counts
+	if w.counts != nil {
+		res.Events = *w.counts
 	}
-	for _, b := range all {
+	for _, b := range w.all {
 		kind := b.spec.Kind
 		if kind == "" {
 			kind = "periodic"
@@ -356,7 +400,7 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 			Latency:   b.lat,
 		})
 	}
-	return res, nil
+	return res
 }
 
 func makeGuest(sys *core.System, stack core.Stack, vm VM) (*guest.OS, error) {

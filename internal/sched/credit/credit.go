@@ -171,6 +171,16 @@ func (s *Scheduler) AdmitVCPU(v *hv.VCPU) error {
 	return nil
 }
 
+// CapOf reports v's credit cap as a CPU fraction (0 = uncapped). A capped
+// VCPU's per-period refill is exactly cap × AccountPeriod. Read-only;
+// used by the invariant oracles in internal/check.
+func (s *Scheduler) CapOf(v *hv.VCPU) float64 {
+	if st, ok := v.SchedData.(*vcpuState); ok {
+		return st.cap
+	}
+	return 0
+}
+
 // RemoveVCPU implements hv.HostScheduler.
 func (s *Scheduler) RemoveVCPU(v *hv.VCPU, now simtime.Time) {
 	for i, x := range s.vcpus {
@@ -252,10 +262,18 @@ func (s *Scheduler) settle(v *hv.VCPU, now simtime.Time) {
 	had := st.credits > 0
 	st.credits -= now.Sub(st.lastAt)
 	st.lastAt = now
-	// The UNDER→OVER transition is Credit's budget-exhaustion moment.
+	// The UNDER→OVER transition is Credit's budget-exhaustion moment. For
+	// a capped VCPU, Arg carries the overdraw past the cap boundary:
+	// Schedule parks it at exactly zero credits, so anything non-zero is
+	// an accounting bug (check.BudgetOracle). Uncapped VCPUs run into
+	// negative credit legitimately (the OVER band) and report no overdraw.
 	if had && st.credits <= 0 && s.h.Tracing() {
+		var over int64
+		if st.cap > 0 && st.credits < 0 {
+			over = int64(-st.credits)
+		}
 		s.h.Emit(trace.Event{At: now, Kind: trace.Deplete, PCPU: st.runningOn,
-			VM: v.VM.Name, VCPU: v.Index})
+			VM: v.VM.Name, VCPU: v.Index, Arg: over})
 	}
 }
 

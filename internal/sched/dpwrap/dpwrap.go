@@ -645,9 +645,12 @@ func (s *Scheduler) chargeRun(ps *pcpuState, now simtime.Time) {
 	}
 	if elapsed >= ps.lastEntry.remaining {
 		if ps.lastEntry.remaining > 0 && s.h.Tracing() {
+			// Arg carries the overdraw: time charged beyond the entry's
+			// quota. Schedule grants at most the remaining quota, so any
+			// non-zero overdraw is an accounting bug (check.BudgetOracle).
 			e := ps.lastEntry
 			s.h.Emit(trace.Event{At: now, Kind: trace.Deplete, PCPU: e.pcpu,
-				VM: e.v.VM.Name, VCPU: e.v.Index})
+				VM: e.v.VM.Name, VCPU: e.v.Index, Arg: int64(elapsed - e.remaining)})
 		}
 		ps.lastEntry.remaining = 0
 	} else {
@@ -658,6 +661,19 @@ func (s *Scheduler) chargeRun(ps *pcpuState, now simtime.Time) {
 	}
 	ps.lastEntry = nil
 }
+
+// SliceBounds reports the current global slice [start, end). Every quota
+// Replenish event is emitted with At == start while these bounds are
+// current, so the invariant oracles can bound each grant by
+// bandwidth × (end − start). Read-only; used by internal/check.
+func (s *Scheduler) SliceBounds() (start, end simtime.Time) { return s.sliceStart, s.sliceEnd }
+
+// AdmittedBandwidth sums the admitted real-time bandwidth exactly as the
+// admission test counts it (taxed when IdleTax is enabled).
+func (s *Scheduler) AdmittedBandwidth() float64 { return s.rtBandwidth(nil, hv.Reservation{}) }
+
+// Capacity returns the admittable RT bandwidth in CPUs.
+func (s *Scheduler) Capacity() float64 { return s.capacity() }
 
 // SlotUpdated implements hv.SlotWatcher: when a guest publishes a deadline
 // earlier than the current global slice end (a freshly started periodic

@@ -249,8 +249,11 @@ func (s *Scheduler) chargeIfRunning(v *hv.VCPU, now simtime.Time) {
 	elapsed := now.Sub(st.lastAt)
 	if elapsed >= st.budget {
 		if st.budget > 0 && s.h.Tracing() {
+			// Arg carries the overdraw: time charged beyond the remaining
+			// budget. The kernel's allocations never exceed the budget, so
+			// anything non-zero is an accounting bug (check.BudgetOracle).
 			s.h.Emit(trace.Event{At: now, Kind: trace.Deplete, PCPU: st.runningOn,
-				VM: v.VM.Name, VCPU: v.Index})
+				VM: v.VM.Name, VCPU: v.Index, Arg: int64(elapsed - st.budget)})
 		}
 		st.budget = 0
 	} else {
@@ -371,6 +374,38 @@ func (s *Scheduler) Schedule(p *hv.PCPU, now simtime.Time) hv.Decision {
 	// Idle until the next quantum; wakes and replenishments kick earlier.
 	return hv.Decision{VCPU: nil, RunFor: simtime.Infinite, Work: work}
 }
+
+// ServerState reports v's live server accounting as of now — remaining
+// budget (settling any in-progress charge without mutating it) and the
+// current EDF deadline. ok is false for background (non-server) VCPUs.
+// Read-only; used by the invariant oracles in internal/check.
+func (s *Scheduler) ServerState(v *hv.VCPU, now simtime.Time) (budget simtime.Duration, deadline simtime.Time, ok bool) {
+	st, isServer := v.SchedData.(*serverState)
+	if !isServer {
+		return 0, 0, false
+	}
+	b := st.budget
+	if st.runningOn >= 0 {
+		if e := now.Sub(st.lastAt); e >= b {
+			b = 0
+		} else {
+			b -= e
+		}
+	}
+	return b, st.deadline, true
+}
+
+// AdmittedBandwidth sums the bandwidth of every admitted server.
+func (s *Scheduler) AdmittedBandwidth() float64 {
+	sum := 0.0
+	for _, v := range s.runq.v {
+		sum += v.Res.Bandwidth()
+	}
+	return sum
+}
+
+// Capacity is the gEDF admission bound in CPUs (Σ utilization ≤ m).
+func (s *Scheduler) Capacity() float64 { return float64(s.h.NumPCPUs()) }
 
 func (s *Scheduler) pickBackground(p *hv.PCPU, work *int) *hv.VCPU {
 	all := s.h.VCPUs()
