@@ -12,6 +12,7 @@ import (
 
 	"rtvirt"
 	"rtvirt/internal/eventq"
+	"rtvirt/internal/sim"
 	"rtvirt/internal/simtime"
 )
 
@@ -21,9 +22,13 @@ import (
 // the identical operation blend with Cancel+Schedule standing in for
 // Reschedule, which the old API did not have. Wall time is the best of
 // ten sequential fig3 runs at 100 simulated seconds, interleaved with the
-// rewritten binary to cancel container noise.
+// rewritten binary to cancel container noise. bench3KernelMixNs is the
+// intrusive-4-ary-heap checkpoint recorded in BENCH_3.json on the same
+// container class — the middle point of the 179.8 → 83 → wheel
+// trajectory.
 const (
-	baselineKernelMixNs   = 179.8 // median of 3 × 2s runs
+	baselineKernelMixNs   = 179.8 // median of 3 × 2s runs, pre-rewrite
+	bench3KernelMixNs     = 83.0  // BENCH_3.json checkpoint, intrusive 4-ary heap
 	baselineScheduleFire  = 120.6 // median of 3 × 2s runs
 	baselineFig3WallSecs  = 0.526
 	baselineAllocsPerOp   = 0
@@ -39,38 +44,112 @@ type kernelSide struct {
 	Details             string  `json:"details"`
 }
 
+// backendSide is one event-queue backend's measurement across the three
+// kernel mixes plus the end-to-end Figure 3 wall time under that backend.
+type backendSide struct {
+	KernelMixNsPerEvent float64 `json:"kernel_mix_ns_per_event"`
+	TimerHeavyNsPerOp   float64 `json:"timer_heavy_ns_per_op"`
+	ChurnHeavyNsPerOp   float64 `json:"churn_heavy_ns_per_op"`
+	AllocsPerOp         int64   `json:"allocs_per_op"`
+	Fig3WallSeconds     float64 `json:"fig3_100s_wall_seconds"`
+	Details             string  `json:"details"`
+}
+
 type kernelReport struct {
-	Bench       string     `json:"bench"`
-	GoVersion   string     `json:"go_version"`
-	Baseline    kernelSide `json:"baseline"`
-	Current     kernelSide `json:"current"`
+	Bench       string      `json:"bench"`
+	GoVersion   string      `json:"go_version"`
+	Baseline    kernelSide  `json:"baseline"`
+	Heap        backendSide `json:"heap"`
+	Wheel       backendSide `json:"wheel"`
+	Current     kernelSide  `json:"current"`
 	Improvement struct {
-		KernelMixPct    float64 `json:"kernel_mix_pct"`
-		ScheduleFirePct float64 `json:"schedule_fire_pct"`
-		Fig3WallPct     float64 `json:"fig3_wall_pct"`
+		KernelMixPct    float64 `json:"kernel_mix_pct"`    // pre-rewrite baseline → wheel
+		VsBench3Pct     float64 `json:"vs_bench3_pct"`     // BENCH_3 heap checkpoint → wheel
+		MixVsHeapPct    float64 `json:"mix_vs_heap_pct"`   // measured heap → wheel, headline
+		TimerVsHeapPct  float64 `json:"timer_vs_heap_pct"` // measured heap → wheel, timer-heavy
+		ChurnVsHeapPct  float64 `json:"churn_vs_heap_pct"` // measured heap → wheel, churn-heavy
+		ScheduleFirePct float64 `json:"schedule_fire_pct"` // baseline → current
+		Fig3WallPct     float64 `json:"fig3_wall_pct"`     // baseline → wheel wall
 	} `json:"improvement"`
 }
 
 // benchKernelMix is the same blend as internal/eventq's BenchmarkKernelMix:
 // per event fired, one standing handle moves (the hv per-PCPU timer), one
 // fresh event is admitted, and the head pops.
-func benchKernelMix(b *testing.B) {
-	var q eventq.Queue
-	nop := func(simtime.Time) {}
-	rng := rand.New(rand.NewSource(1))
-	standing := make([]eventq.Handle, 256)
-	for i := range standing {
-		standing[i] = q.Schedule(simtime.Time(1_000_000+i), nop)
+func benchKernelMix(bk eventq.Backend) func(b *testing.B) {
+	return func(b *testing.B) {
+		var q eventq.Queue
+		q.SetBackend(bk)
+		nop := func(simtime.Time) {}
+		rng := rand.New(rand.NewSource(1))
+		standing := make([]eventq.Handle, 256)
+		for i := range standing {
+			standing[i] = q.Schedule(simtime.Time(1_000_000+i), nop)
+		}
+		now := simtime.Time(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := i % len(standing)
+			standing[k] = q.Reschedule(standing[k], now+1_000_000+simtime.Time(rng.Int63n(1_000_000)))
+			q.Schedule(now+1, nop)
+			q.Fire()
+			now++
+		}
 	}
-	now := simtime.Time(0)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		k := i % len(standing)
-		standing[k] = q.Reschedule(standing[k], now+1_000_000+simtime.Time(rng.Int63n(1_000_000)))
-		q.Schedule(now+1, nop)
-		q.Fire()
-		now++
+}
+
+// benchKernelMixTimer mirrors BenchmarkKernelMixTimer: four standing
+// timers move per admission+fire — the multi-PCPU Kick/VCPURecheck shape.
+func benchKernelMixTimer(bk eventq.Backend) func(b *testing.B) {
+	return func(b *testing.B) {
+		var q eventq.Queue
+		q.SetBackend(bk)
+		nop := func(simtime.Time) {}
+		rng := rand.New(rand.NewSource(2))
+		standing := make([]eventq.Handle, 256)
+		for i := range standing {
+			standing[i] = q.Schedule(simtime.Time(1_000_000+i), nop)
+		}
+		now := simtime.Time(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 4; j++ {
+				k := (i*4 + j) % len(standing)
+				standing[k] = q.Reschedule(standing[k], now+1_000_000+simtime.Time(rng.Int63n(1_000_000)))
+			}
+			q.Schedule(now+1, nop)
+			q.Fire()
+			now++
+		}
+	}
+}
+
+// benchKernelMixChurn mirrors BenchmarkKernelMixChurn: short-lived events
+// admitted, sometimes cancelled, and popped in quick succession.
+func benchKernelMixChurn(bk eventq.Backend) func(b *testing.B) {
+	return func(b *testing.B) {
+		var q eventq.Queue
+		q.SetBackend(bk)
+		nop := func(simtime.Time) {}
+		rng := rand.New(rand.NewSource(3))
+		var pending [64]eventq.Handle
+		now := simtime.Time(4096)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := i % len(pending)
+			q.Cancel(pending[k])
+			pending[k] = q.Schedule(now+simtime.Time(rng.Int63n(4096)), nop)
+			q.Schedule(now+1, nop)
+			q.Fire()
+			q.Fire()
+			now++
+		}
+		b.StopTimer()
+		for q.Fire() {
+		}
 	}
 }
 
@@ -88,16 +167,16 @@ func benchScheduleFire(b *testing.B) {
 	}
 }
 
-// runKernel benchmarks the rewritten event-queue kernel against the
-// recorded pre-rewrite baseline and writes the comparison to outPath
-// (BENCH_3.json). The end-to-end leg runs Figure 3 sequentially so the
-// wall-clock delta reflects the kernel, not worker-pool scheduling.
-func runKernel(outPath string) {
-	fmt.Println("Kernel microbenchmark — intrusive 4-ary event heap")
+// measureBackend runs the three kernel mixes and the sequential Figure 3
+// wall-time leg under one event-queue backend.
+func measureBackend(bk eventq.Backend, details string) backendSide {
+	mix := testing.Benchmark(benchKernelMix(bk))
+	timer := testing.Benchmark(benchKernelMixTimer(bk))
+	churn := testing.Benchmark(benchKernelMixChurn(bk))
 
-	mix := testing.Benchmark(benchKernelMix)
-	sf := testing.Benchmark(benchScheduleFire)
-
+	prev := sim.DefaultBackend
+	sim.DefaultBackend = bk
+	defer func() { sim.DefaultBackend = prev }()
 	cfg := rtvirt.DefaultFigure3Config()
 	cfg.Seed = 1
 	cfg.Duration = 100 * rtvirt.Second
@@ -109,9 +188,32 @@ func runKernel(outPath string) {
 			wall = d
 		}
 	}
+	return backendSide{
+		KernelMixNsPerEvent: float64(mix.NsPerOp()),
+		TimerHeavyNsPerOp:   float64(timer.NsPerOp()),
+		ChurnHeavyNsPerOp:   float64(churn.NsPerOp()),
+		AllocsPerOp:         mix.AllocsPerOp() + timer.AllocsPerOp() + churn.AllocsPerOp(),
+		Fig3WallSeconds:     wall.Seconds(),
+		Details:             details,
+	}
+}
+
+// runKernel benchmarks the event-queue kernel — the hierarchical timing
+// wheel against the intrusive 4-ary heap, and both against the recorded
+// pre-rewrite baseline — and writes the comparison to outPath
+// (BENCH_5.json). The end-to-end leg runs Figure 3 sequentially so the
+// wall-clock delta reflects the kernel, not worker-pool scheduling.
+func runKernel(outPath string) {
+	fmt.Println("Kernel microbenchmark — hierarchical timing wheel vs intrusive 4-ary heap")
+
+	heap := measureBackend(eventq.BackendHeap,
+		"intrusive 4-ary heap, in-place reschedule, standing per-PCPU events")
+	wheel := measureBackend(eventq.BackendWheel,
+		"hierarchical timing wheel (4×64 slots), heap overflow, batched same-instant firing")
+	sf := testing.Benchmark(benchScheduleFire)
 
 	var r kernelReport
-	r.Bench = "eventq kernel mix (reschedule+schedule+fire per event)"
+	r.Bench = "eventq kernel mixes (headline, timer-heavy, churn-heavy) — wheel vs heap"
 	r.GoVersion = runtime.Version()
 	r.Baseline = kernelSide{
 		KernelMixNsPerEvent: baselineKernelMixNs,
@@ -121,29 +223,43 @@ func runKernel(outPath string) {
 		AllocsPerOp:         baselineAllocsPerOp,
 		Details:             baselineKernelDetails,
 	}
-	mixNs := float64(mix.NsPerOp())
-	if mixNs == 0 {
-		mixNs = float64(mix.T.Nanoseconds()) / float64(mix.N)
-	}
+	r.Heap = heap
+	r.Wheel = wheel
 	r.Current = kernelSide{
-		KernelMixNsPerEvent: mixNs,
-		KernelMixEventsSec:  1e9 / mixNs,
+		KernelMixNsPerEvent: wheel.KernelMixNsPerEvent,
+		KernelMixEventsSec:  1e9 / wheel.KernelMixNsPerEvent,
 		ScheduleFireNsPerOp: float64(sf.NsPerOp()),
-		Fig3WallSeconds:     wall.Seconds(),
-		AllocsPerOp:         mix.AllocsPerOp(),
-		Details:             "intrusive 4-ary heap, in-place reschedule, standing per-PCPU events",
+		Fig3WallSeconds:     wheel.Fig3WallSeconds,
+		AllocsPerOp:         wheel.AllocsPerOp,
+		Details:             wheel.Details,
 	}
 	pct := func(before, after float64) float64 { return 100 * (1 - after/before) }
-	r.Improvement.KernelMixPct = pct(baselineKernelMixNs, mixNs)
+	r.Improvement.KernelMixPct = pct(baselineKernelMixNs, wheel.KernelMixNsPerEvent)
+	r.Improvement.VsBench3Pct = pct(bench3KernelMixNs, wheel.KernelMixNsPerEvent)
+	r.Improvement.MixVsHeapPct = pct(heap.KernelMixNsPerEvent, wheel.KernelMixNsPerEvent)
+	r.Improvement.TimerVsHeapPct = pct(heap.TimerHeavyNsPerOp, wheel.TimerHeavyNsPerOp)
+	r.Improvement.ChurnVsHeapPct = pct(heap.ChurnHeavyNsPerOp, wheel.ChurnHeavyNsPerOp)
 	r.Improvement.ScheduleFirePct = pct(baselineScheduleFire, r.Current.ScheduleFireNsPerOp)
-	r.Improvement.Fig3WallPct = pct(baselineFig3WallSecs, r.Current.Fig3WallSeconds)
+	r.Improvement.Fig3WallPct = pct(baselineFig3WallSecs, wheel.Fig3WallSeconds)
 
-	fmt.Printf("  kernel mix:    %8.1f ns/event  (baseline %.1f, %+.1f%%), %d allocs/op\n",
-		mixNs, baselineKernelMixNs, r.Improvement.KernelMixPct, r.Current.AllocsPerOp)
-	fmt.Printf("  schedule/fire: %8.1f ns/op     (baseline %.1f, %+.1f%%)\n",
+	for _, row := range []struct {
+		name string
+		h, w float64
+	}{
+		{"kernel mix", heap.KernelMixNsPerEvent, wheel.KernelMixNsPerEvent},
+		{"timer-heavy", heap.TimerHeavyNsPerOp, wheel.TimerHeavyNsPerOp},
+		{"churn-heavy", heap.ChurnHeavyNsPerOp, wheel.ChurnHeavyNsPerOp},
+	} {
+		fmt.Printf("  %-12s heap %7.1f ns/op   wheel %7.1f ns/op  (%+.1f%%)\n",
+			row.name+":", row.h, row.w, pct(row.h, row.w))
+	}
+	fmt.Printf("  headline vs pre-rewrite baseline %.1f: %+.1f%%; vs BENCH_3 heap %.1f: %+.1f%%; allocs/op %d\n",
+		baselineKernelMixNs, r.Improvement.KernelMixPct, bench3KernelMixNs,
+		r.Improvement.VsBench3Pct, wheel.AllocsPerOp)
+	fmt.Printf("  schedule/fire: %8.1f ns/op  (baseline %.1f, %+.1f%%)\n",
 		r.Current.ScheduleFireNsPerOp, baselineScheduleFire, r.Improvement.ScheduleFirePct)
-	fmt.Printf("  fig3 @100s:    %8.3f s         (baseline %.3f, %+.1f%%)\n",
-		r.Current.Fig3WallSeconds, baselineFig3WallSecs, r.Improvement.Fig3WallPct)
+	fmt.Printf("  fig3 @100s:    heap %.3f s   wheel %.3f s  (baseline %.3f, %+.1f%%)\n",
+		heap.Fig3WallSeconds, wheel.Fig3WallSeconds, baselineFig3WallSecs, r.Improvement.Fig3WallPct)
 
 	buf, err := json.MarshalIndent(&r, "", "  ")
 	if err != nil {

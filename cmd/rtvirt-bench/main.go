@@ -41,8 +41,8 @@ func main() {
 		runs       = flag.Int("runs", 5, "seeds for -experiment robustness")
 		n          = flag.Int("n", 25, "generated scenarios for -experiment quickcheck")
 		parallel   = flag.Int("parallel", 0, "workers for independent simulations (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
-		kernel     = flag.Bool("kernel", false, "benchmark the event-queue kernel against the recorded pre-rewrite baseline and exit")
-		benchOut   = flag.String("bench-out", "BENCH_3.json", "output path for the -kernel comparison report")
+		kernel     = flag.Bool("kernel", false, "benchmark the event-queue kernel (wheel vs heap, both vs the recorded pre-rewrite baseline) and exit")
+		benchOut   = flag.String("bench-out", "BENCH_5.json", "output path for the -kernel comparison report")
 		forkWarmup = flag.Bool("fork-warmup", false, "benchmark the fig5 warm-start fork sweep against its cold control and exit")
 		forkOut    = flag.String("fork-out", "BENCH_4.json", "output path for the -fork-warmup comparison report")
 	)

@@ -12,11 +12,14 @@ package quick
 import (
 	"fmt"
 	"math/rand"
+	"os"
 
 	"rtvirt/internal/check"
 	"rtvirt/internal/core"
+	"rtvirt/internal/eventq"
 	"rtvirt/internal/experiments"
 	"rtvirt/internal/scenario"
+	"rtvirt/internal/sim"
 	"rtvirt/internal/simtime"
 )
 
@@ -33,6 +36,11 @@ type Config struct {
 	Seconds int64
 	// Stacks overrides the stacks exercised (default: all four).
 	Stacks []core.Stack
+	// Backends overrides the event-queue backends each scenario runs
+	// under (default: both the 4-ary heap and the timing wheel, so every
+	// generated world doubles as a queue-equivalence probe — unless the
+	// RTVIRT_EVENTQ environment variable pins one backend globally).
+	Backends []eventq.Backend
 	// SkipFork disables the mid-run fork bit-identity probe.
 	SkipFork bool
 	// MaxShrinkRuns caps the simulations the shrinker may spend per
@@ -46,6 +54,7 @@ type Config struct {
 type Failure struct {
 	Case       int               `json:"case"`
 	Stack      string            `json:"stack"`
+	Backend    string            `json:"backend,omitempty"`
 	Seed       uint64            `json:"seed"`
 	Violations []check.Violation `json:"violations"`
 	Scenario   scenario.Scenario `json:"scenario"`
@@ -63,12 +72,16 @@ type Report struct {
 	Seed     uint64
 	Cases    int
 	Runs     int
+	Backends int // event-queue backends each (case, stack) pair ran under
 	Skipped  int // builds rejected by admission control
 	Failures []Failure
 }
 
 // AllStacks is the default stack set.
 var AllStacks = []core.Stack{core.RTVirt, core.RTXen, core.TwoLevelEDF, core.Credit}
+
+// AllBackends is the default event-queue backend set.
+var AllBackends = []eventq.Backend{eventq.BackendHeap, eventq.BackendWheel}
 
 // splitmix64 derives case k's seed from the run seed — well-mixed so
 // neighboring cases share no stream structure, and never zero (zero means
@@ -100,39 +113,66 @@ func Run(cfg Config) *Report {
 	if cfg.MaxShrinkRuns <= 0 {
 		cfg.MaxShrinkRuns = 200
 	}
-	rep := &Report{Seed: cfg.Seed, Cases: cfg.N}
+	if len(cfg.Backends) == 0 {
+		if os.Getenv("RTVIRT_EVENTQ") != "" {
+			// A globally pinned backend wins: CI's wheel pass sets the env
+			// var and runs every scenario once, under that backend only.
+			cfg.Backends = []eventq.Backend{sim.DefaultBackend}
+		} else {
+			cfg.Backends = AllBackends
+		}
+	}
+	rep := &Report{Seed: cfg.Seed, Cases: cfg.N, Backends: len(cfg.Backends)}
 	for i := 0; i < cfg.N; i++ {
 		caseSeed := splitmix64(cfg.Seed, uint64(i))
 		sc := Generate(rand.New(rand.NewSource(int64(caseSeed))))
 		sc.Seconds = cfg.Seconds
 		sc.Seed = caseSeed
 		for _, stack := range cfg.Stacks {
-			rep.Runs++
-			vs, err := runOne(sc, stack, !cfg.SkipFork)
-			if err != nil {
-				rep.Skipped++
-				continue
+			for _, bk := range cfg.Backends {
+				rep.Runs++
+				restore := pinBackend(bk)
+				vs, err := runOne(sc, stack, !cfg.SkipFork)
+				if err != nil {
+					restore()
+					rep.Skipped++
+					continue
+				}
+				if len(vs) == 0 {
+					restore()
+					continue
+				}
+				// Shrink (and any bisect) replays under the violating
+				// backend so the minimized repro still reproduces.
+				min, minVs, steps, runs := Shrink(sc, stack, !cfg.SkipFork, cfg.MaxShrinkRuns)
+				f := Failure{
+					Case:        i,
+					Stack:       stack.String(),
+					Backend:     bk.String(),
+					Seed:        caseSeed,
+					Violations:  minVs,
+					Scenario:    min,
+					ShrinkSteps: steps,
+					ShrinkRuns:  runs,
+				}
+				if hasForkViolation(minVs) {
+					f.ForkBisect = pinForkDivergence(min, stack)
+				}
+				restore()
+				rep.Failures = append(rep.Failures, f)
 			}
-			if len(vs) == 0 {
-				continue
-			}
-			min, minVs, steps, runs := Shrink(sc, stack, !cfg.SkipFork, cfg.MaxShrinkRuns)
-			f := Failure{
-				Case:        i,
-				Stack:       stack.String(),
-				Seed:        caseSeed,
-				Violations:  minVs,
-				Scenario:    min,
-				ShrinkSteps: steps,
-				ShrinkRuns:  runs,
-			}
-			if hasForkViolation(minVs) {
-				f.ForkBisect = pinForkDivergence(min, stack)
-			}
-			rep.Failures = append(rep.Failures, f)
 		}
 	}
 	return rep
+}
+
+// pinBackend points sim.New at one event-queue backend and returns the
+// undo. Scenario builds reach the simulator through core.NewSystem, which
+// has no backend parameter — the package default is the seam.
+func pinBackend(bk eventq.Backend) func() {
+	prev := sim.DefaultBackend
+	sim.DefaultBackend = bk
+	return func() { sim.DefaultBackend = prev }
 }
 
 // runOne builds sc under stack with the oracle suite armed, runs it (with

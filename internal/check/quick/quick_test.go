@@ -48,10 +48,10 @@ func TestGenerateAlwaysValid(t *testing.T) {
 // handful of generated worlds across all four stacks must produce zero
 // invariant violations. Any failure prints its minimized reproducer JSON.
 func TestQuickPropertyBounded(t *testing.T) {
-	rep := Run(Config{Seed: 1, N: 6})
+	rep := Run(Config{Seed: 1, N: 6, Backends: AllBackends})
 	reportFailures(t, rep)
-	if rep.Runs != rep.Cases*len(AllStacks) {
-		t.Fatalf("expected %d runs, got %d", rep.Cases*len(AllStacks), rep.Runs)
+	if want := rep.Cases * len(AllStacks) * len(AllBackends); rep.Runs != want {
+		t.Fatalf("expected %d runs, got %d", want, rep.Runs)
 	}
 }
 

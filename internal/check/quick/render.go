@@ -10,11 +10,19 @@ import (
 // output is deterministic for a fixed Config (goldens pin it).
 func (r *Report) Render() string {
 	var b strings.Builder
+	backends := r.Backends
+	if backends <= 0 {
+		backends = 1
+	}
 	stacks := r.Runs
 	if r.Cases > 0 {
-		stacks = r.Runs / r.Cases
+		stacks = r.Runs / (r.Cases * backends)
 	}
-	fmt.Fprintf(&b, "quickcheck: %d cases x %d stacks (seed %d)\n", r.Cases, stacks, r.Seed)
+	fmt.Fprintf(&b, "quickcheck: %d cases x %d stacks", r.Cases, stacks)
+	if backends > 1 {
+		fmt.Fprintf(&b, " x %d queue backends", backends)
+	}
+	fmt.Fprintf(&b, " (seed %d)\n", r.Seed)
 	fmt.Fprintf(&b, "runs %d, skipped %d (admission-rejected builds), failures %d\n",
 		r.Runs, r.Skipped, len(r.Failures))
 	if len(r.Failures) == 0 {
@@ -23,8 +31,12 @@ func (r *Report) Render() string {
 	}
 	fmt.Fprintf(&b, "FAIL: %d violating run(s)\n", len(r.Failures))
 	for i, f := range r.Failures {
+		where := f.Stack
+		if f.Backend != "" {
+			where += "/" + f.Backend
+		}
 		fmt.Fprintf(&b, "[%d] case %d under %s: %d violation(s), shrunk in %d step(s) over %d run(s)\n",
-			i, f.Case, f.Stack, len(f.Violations), f.ShrinkSteps, f.ShrinkRuns)
+			i, f.Case, where, len(f.Violations), f.ShrinkSteps, f.ShrinkRuns)
 		for _, v := range f.Violations {
 			fmt.Fprintf(&b, "    %v\n", v)
 		}

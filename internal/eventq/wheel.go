@@ -1,0 +1,478 @@
+// Hierarchical timing-wheel backend (Varghese & Lauck) for Queue.
+//
+// The wheel quantizes time into ticks of 2^tickShift ns and keeps four
+// levels of 64 slots each, so one "frame" of 64^4 ticks (~17.6 s at the
+// 1.024 µs tick) is addressable. Events land in the container their firing
+// time calls for:
+//
+//   - the *run*: a small array, sorted descending by (at, seq), holding the
+//     cursor tick's events (and any event scheduled at or before it). The
+//     earliest event sits at the tail, so Fire is a pop and a whole batch
+//     of same-instant events drains with zero per-event search — the
+//     batched same-instant firing the dispatch path wants.
+//   - a *level slot*: an intrusive doubly-linked chain. The level is the
+//     position of the highest base-64 digit in which the event's tick
+//     differs from the cursor's, so a slot index is always strictly ahead
+//     of the cursor's digit at that level and lower levels stay wrap-free.
+//     Insert and remove are O(1) pointer splices — a rescheduled standing
+//     timer (the hv per-PCPU kernel event, RT-Xen replenishments) never
+//     sifts anything.
+//   - the *overflow heap*: a 4-ary min-heap on (at, seq) for events beyond
+//     the cursor's frame — the same intrusive heap discipline as the
+//     default backend, holding the far future at O(log n) so the wheel
+//     needs no fifth level.
+//
+// Advancing is lazy and jump-based: when the run drains, the cursor jumps
+// straight to the lowest occupied slot (found with one bitmap scan per
+// level), transferring a level-0 slot into the run or cascading a
+// higher-level slot's chain one level down. When the wheel is empty the
+// cursor re-anchors at the overflow frontier and the overflow events of
+// that frame are drained back into the wheel, so the invariant "every
+// overflow event lies beyond the cursor's frame" — which keeps slot
+// contents strictly earlier than overflow contents — always holds.
+//
+// Firing order is the exact total order on (at, seq), identical to the
+// heap backend's, so a simulation is bit-identical under either backend.
+// There are no tombstones: every container supports cheap eager removal.
+package eventq
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rtvirt/internal/clone"
+	"rtvirt/internal/simtime"
+)
+
+// Backend selects the data structure behind a Queue.
+type Backend uint8
+
+const (
+	// BackendHeap is the intrusive 4-ary min-heap with lazy tombstone
+	// cancellation — the zero value and the default.
+	BackendHeap Backend = iota
+	// BackendWheel is the hierarchical timing wheel with a heap overflow.
+	BackendWheel
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case BackendHeap:
+		return "heap"
+	case BackendWheel:
+		return "wheel"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// Wheel geometry. 2^10 ns ticks keep sub-µs events (same-instant bursts,
+// deferred same-tick kicks) in one run batch; 4 levels of 64 slots cover
+// ~17.6 s — longer than any standing timer the kernel arms — before the
+// overflow heap takes over.
+const (
+	tickShift   = 10 // 1.024 µs per level-0 tick
+	slotBits    = 6
+	wheelSlots  = 1 << slotBits
+	wheelLevels = 4
+	wheelBits   = slotBits * wheelLevels // ticks per frame = 1<<wheelBits
+)
+
+// Wheel container tags (Event.where).
+const (
+	whNone byte = iota
+	whRun
+	whSlot
+	whOver
+)
+
+// wheel is the timing-wheel state of a Queue with BackendWheel.
+type wheel struct {
+	// base is the cursor tick: every resident event's tick is ≥ base.
+	base int64
+	// runLimit is the exclusive firing-time bound of the run: an event at
+	// t < runLimit files into the run. Maintained as (base+1)<<tickShift.
+	runLimit simtime.Time
+	// count is the number of events resident in the level slots.
+	count int
+	occ   [wheelLevels]uint64 // per-level slot-occupancy bitmaps
+	slots [wheelLevels][wheelSlots]*Event
+	// run holds the cursor tick's events sorted descending by (at, seq):
+	// the earliest fires from the tail, so pops never shift.
+	run []*Event
+	// over is the overflow 4-ary min-heap of events beyond base's frame.
+	over []*Event
+}
+
+// tickOf quantizes a firing time to its wheel tick.
+func tickOf(t simtime.Time) int64 { return int64(t) >> tickShift }
+
+// wheelPlace files a pending record into the container its firing time
+// calls for. The record's at/seq are already set.
+func (q *Queue) wheelPlace(e *Event) {
+	w := q.w
+	if len(w.run) == 0 && w.count == 0 && len(w.over) == 0 {
+		// Empty queue: re-anchor the cursor at the new event so it needs no
+		// advancing to reach it.
+		w.base = tickOf(e.at)
+		w.runLimit = simtime.Time(w.base+1) << tickShift
+	}
+	if e.at < w.runLimit {
+		q.runInsert(e)
+		return
+	}
+	diff := uint64(tickOf(e.at) ^ w.base)
+	if diff == 0 {
+		// Same tick as the cursor seen through a stale runLimit; only
+		// reachable mid-cascade, before the transfer that refreshes it.
+		q.runInsert(e)
+		return
+	}
+	if diff>>wheelBits != 0 {
+		q.overPush(e)
+		return
+	}
+	// Highest differing base-64 digit picks the level; the event's digit
+	// there is its slot. Because all higher digits equal the cursor's, the
+	// slot is strictly ahead of the cursor's digit — no wrap-around.
+	lvl := uint((63 - bits.LeadingZeros64(diff)) / slotBits)
+	slot := int(tickOf(e.at)>>(lvl*slotBits)) & (wheelSlots - 1)
+	head := w.slots[lvl][slot]
+	e.prev, e.next = nil, head
+	if head != nil {
+		head.prev = e
+	}
+	w.slots[lvl][slot] = e
+	w.occ[lvl] |= 1 << uint(slot)
+	e.where = whSlot
+	e.idx = int32(int(lvl)<<slotBits | slot)
+	w.count++
+}
+
+// wheelDetach removes a pending record from whichever container holds it,
+// leaving it unfiled (the caller recycles or re-places it).
+func (q *Queue) wheelDetach(e *Event) {
+	switch e.where {
+	case whRun:
+		q.runRemove(e)
+	case whSlot:
+		q.slotRemove(e)
+	case whOver:
+		q.overRemove(e)
+	default:
+		panic("eventq: detach of an unfiled wheel event")
+	}
+	e.where = whNone
+	e.idx = -1
+}
+
+// runInsert binary-inserts e into the descending run. Near-future events
+// land near the tail, so the common shift is short.
+func (q *Queue) runInsert(e *Event) {
+	w := q.w
+	lo, hi := 0, len(w.run)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(e, w.run[mid]) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	w.run = append(w.run, nil)
+	copy(w.run[lo+1:], w.run[lo:])
+	w.run[lo] = e
+	e.where = whRun
+	for i := lo; i < len(w.run); i++ {
+		w.run[i].idx = int32(i)
+	}
+}
+
+// runRemove deletes e from the run, closing the gap.
+func (q *Queue) runRemove(e *Event) {
+	w := q.w
+	i := int(e.idx)
+	copy(w.run[i:], w.run[i+1:])
+	n := len(w.run) - 1
+	w.run[n] = nil
+	w.run = w.run[:n]
+	for j := i; j < n; j++ {
+		w.run[j].idx = int32(j)
+	}
+}
+
+// slotRemove unlinks e from its slot chain — O(1), clearing the occupancy
+// bit when the chain empties.
+func (q *Queue) slotRemove(e *Event) {
+	w := q.w
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		lvl, slot := int(e.idx)>>slotBits, int(e.idx)&(wheelSlots-1)
+		w.slots[lvl][slot] = e.next
+		if e.next == nil {
+			w.occ[lvl] &^= 1 << uint(slot)
+		}
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	e.next, e.prev = nil, nil
+	w.count--
+}
+
+// wheelFront makes the run hold the earliest pending events, advancing the
+// cursor as needed. It reports false when the queue is empty.
+func (q *Queue) wheelFront() bool {
+	w := q.w
+	for len(w.run) == 0 {
+		if w.count > 0 {
+			q.wheelStep()
+			continue
+		}
+		if len(w.over) == 0 {
+			return false
+		}
+		q.overJump()
+	}
+	return true
+}
+
+// wheelStep jumps the cursor to the lowest occupied slot. A level-0 slot
+// (one tick) transfers into the run; a higher-level slot cascades — its
+// chain is re-filed against the advanced cursor, landing at lower levels
+// or, for the cursor's own tick, in the run.
+func (q *Queue) wheelStep() {
+	w := q.w
+	for lvl := uint(0); lvl < wheelLevels; lvl++ {
+		d := uint(w.base>>(lvl*slotBits)) & (wheelSlots - 1)
+		mask := w.occ[lvl]
+		if lvl == 0 {
+			mask = mask >> d << d // at or after the cursor digit
+		} else {
+			// Strictly after: the cursor-digit slot was cascaded when the
+			// cursor entered it.
+			mask &^= (1 << (d + 1)) - 1
+		}
+		if mask == 0 {
+			continue
+		}
+		slot := int64(bits.TrailingZeros64(mask))
+		// Jump to the slot's first tick: install the slot as this level's
+		// digit and zero every lower digit.
+		span := int64(1) << (lvl * slotBits)
+		w.base = w.base&^(span<<slotBits-1) | slot*span
+		w.runLimit = simtime.Time(w.base+1) << tickShift
+		head := w.slots[lvl][slot]
+		w.slots[lvl][slot] = nil
+		w.occ[lvl] &^= 1 << uint(slot)
+		if lvl == 0 {
+			q.transferRun(head)
+			return
+		}
+		for e := head; e != nil; {
+			next := e.next
+			e.next, e.prev = nil, nil
+			e.where = whNone
+			w.count--
+			q.wheelPlace(e)
+			e = next
+		}
+		return
+	}
+	panic("eventq: wheel occupancy desynchronized")
+}
+
+// transferRun moves a level-0 slot's chain — one tick's events — into the
+// empty run and sorts it descending. Chain order is unobservable: (at, seq)
+// is a total order, so any comparison sort yields the same firing sequence.
+func (q *Queue) transferRun(head *Event) {
+	w := q.w
+	for e := head; e != nil; {
+		next := e.next
+		e.next, e.prev = nil, nil
+		e.where = whRun
+		w.run = append(w.run, e)
+		w.count--
+		e = next
+	}
+	for i := 1; i < len(w.run); i++ {
+		e := w.run[i]
+		j := i - 1
+		for j >= 0 && less(w.run[j], e) {
+			w.run[j+1] = w.run[j]
+			j--
+		}
+		w.run[j+1] = e
+	}
+	for i, e := range w.run {
+		e.idx = int32(i)
+	}
+}
+
+// overJump re-anchors the empty wheel at the overflow frontier and drains
+// every overflow event of the new frame back through wheelPlace, restoring
+// the invariant that the overflow holds only events beyond the cursor's
+// frame.
+func (q *Queue) overJump() {
+	w := q.w
+	tk := tickOf(w.over[0].at)
+	w.base = tk
+	w.runLimit = simtime.Time(tk+1) << tickShift
+	frame := tk >> wheelBits
+	for len(w.over) > 0 && tickOf(w.over[0].at)>>wheelBits == frame {
+		e := w.over[0]
+		q.overRemove(e)
+		e.where = whNone
+		q.wheelPlace(e)
+	}
+}
+
+// wheelFire pops and runs the earliest event — the run's tail.
+func (q *Queue) wheelFire() bool {
+	if !q.wheelFront() {
+		return false
+	}
+	w := q.w
+	n := len(w.run) - 1
+	e := w.run[n]
+	w.run[n] = nil
+	w.run = w.run[:n]
+	q.live--
+	at, fn, p := e.at, e.fn, e.p
+	q.recycle(e)
+	if fn != nil {
+		fn(at)
+	} else {
+		q.Dispatch(at, p)
+	}
+	return true
+}
+
+// overPush inserts e into the overflow heap.
+func (q *Queue) overPush(e *Event) {
+	w := q.w
+	w.over = append(w.over, e)
+	e.where = whOver
+	q.overSiftUp(len(w.over) - 1)
+}
+
+// overRemove deletes e from the overflow heap by its index.
+func (q *Queue) overRemove(e *Event) {
+	w := q.w
+	i := int(e.idx)
+	n := len(w.over) - 1
+	last := w.over[n]
+	w.over[n] = nil
+	w.over = w.over[:n]
+	if i == n {
+		return
+	}
+	w.over[i] = last
+	last.idx = int32(i)
+	q.overSiftUp(i)
+	if int(last.idx) == i {
+		q.overSiftDown(i)
+	}
+}
+
+func (q *Queue) overSiftUp(i int) {
+	w := q.w
+	e := w.over[i]
+	for i > 0 {
+		p := (i - 1) / arity
+		pe := w.over[p]
+		if !less(e, pe) {
+			break
+		}
+		w.over[i] = pe
+		pe.idx = int32(i)
+		i = p
+	}
+	w.over[i] = e
+	e.idx = int32(i)
+}
+
+func (q *Queue) overSiftDown(i int) {
+	w := q.w
+	e := w.over[i]
+	n := len(w.over)
+	for {
+		c := arity*i + 1
+		if c >= n {
+			break
+		}
+		end := c + arity
+		if end > n {
+			end = n
+		}
+		m := c
+		mc := w.over[c]
+		for j := c + 1; j < end; j++ {
+			if less(w.over[j], mc) {
+				m, mc = j, w.over[j]
+			}
+		}
+		if !less(mc, e) {
+			break
+		}
+		w.over[i] = mc
+		mc.idx = int32(i)
+		i = m
+	}
+	w.over[i] = e
+	e.idx = int32(i)
+}
+
+// cloneWheelInto is CloneInto for a wheel-backed queue: an exact structural
+// copy — cursor, bitmaps, run order, chain order, overflow layout — so the
+// fork's wheel behaves identically operation for operation. Same contract
+// as the heap path: (at, seq, gen) preserved, events memoized in ctx for
+// CloneHandle, error on pending closures.
+func (q *Queue) cloneWheelInto(dst *Queue, ctx *clone.Ctx) error {
+	w := q.w
+	dst.SetBackend(BackendWheel)
+	nw := dst.w
+	nw.base, nw.runLimit, nw.count = w.base, w.runLimit, w.count
+	nw.occ = w.occ
+	closures := 0
+	cl := func(e *Event) *Event {
+		if e.fn != nil {
+			closures++
+		}
+		ne := &Event{at: e.at, seq: e.seq, gen: e.gen, p: e.p,
+			state: statePending, idx: e.idx, where: e.where}
+		ctx.Put(e, ne)
+		return ne
+	}
+	nw.run = make([]*Event, len(w.run))
+	for i, e := range w.run {
+		nw.run[i] = cl(e)
+	}
+	for lvl := range w.slots {
+		for slot, head := range w.slots[lvl] {
+			var prev *Event
+			for e := head; e != nil; e = e.next {
+				ne := cl(e)
+				if prev == nil {
+					nw.slots[lvl][slot] = ne
+				} else {
+					prev.next = ne
+					ne.prev = prev
+				}
+				prev = ne
+			}
+		}
+	}
+	nw.over = make([]*Event, len(w.over))
+	for i, e := range w.over {
+		nw.over[i] = cl(e)
+	}
+	if closures > 0 {
+		return fmt.Errorf("eventq: %d pending closure event(s); only typed payload events can be forked", closures)
+	}
+	dst.seq = q.seq
+	dst.live = q.live
+	return nil
+}

@@ -1,0 +1,167 @@
+package eventq
+
+import (
+	"testing"
+
+	"rtvirt/internal/clone"
+	"rtvirt/internal/simtime"
+)
+
+// tickNs converts a tick count to the wheel's native time unit.
+func tickNs(ticks int64) simtime.Time { return simtime.Time(ticks << tickShift) }
+
+// TestWheelCrossLevelOrder schedules events that land in every wheel level
+// plus the overflow heap, in scrambled insertion order, and checks they
+// fire in strict time order across level boundaries and cascades.
+func TestWheelCrossLevelOrder(t *testing.T) {
+	var q Queue
+	q.SetBackend(BackendWheel)
+	// One event per level digit boundary: level 0 (same 64-tick block),
+	// level 1 (64..4095 ticks out), level 2, level 3, and past the 24-bit
+	// frame into the overflow heap.
+	ticks := []int64{1, 3, 63, 64, 100, 1 << 12, 1<<12 + 7, 1 << 18, 1 << 24, 1<<24 + 5, 1 << 40}
+	// Scrambled insertion order.
+	order := []int{7, 0, 10, 3, 5, 1, 8, 2, 9, 4, 6}
+	fired := make([]simtime.Time, 0, len(ticks))
+	for _, i := range order {
+		at := tickNs(ticks[i])
+		q.Schedule(at, func(simtime.Time) { fired = append(fired, at) })
+	}
+	for q.Fire() {
+	}
+	if len(fired) != len(ticks) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(ticks))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("fire order regressed at %d: %v after %v", i, fired[i], fired[i-1])
+		}
+	}
+}
+
+// TestWheelSameInstantFIFO checks that events at one instant fire in
+// insertion order even when they arrive via different paths: direct
+// schedule, reschedule from far away, and cascade from a higher level.
+func TestWheelSameInstantFIFO(t *testing.T) {
+	var q Queue
+	q.SetBackend(BackendWheel)
+	target := tickNs(1 << 13) // lands in level 2 first, cascades down
+	var fired []int
+	note := func(id int) func(simtime.Time) {
+		return func(simtime.Time) { fired = append(fired, id) }
+	}
+	q.Schedule(target, note(0))
+	h := q.Schedule(tickNs(1<<25), note(1)) // overflow first, then pulled in
+	q.Schedule(target, note(2))
+	q.Reschedule(h, target) // reschedule assigns a fresh seq: fires after 2
+	q.Schedule(target, note(3))
+	for q.Fire() {
+	}
+	want := []int{0, 2, 1, 3}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestWheelSlotChainCancel cancels the middle, head, and tail of a slot's
+// chain and checks the survivors still fire, exactly once, in order.
+func TestWheelSlotChainCancel(t *testing.T) {
+	var q Queue
+	q.SetBackend(BackendWheel)
+	at := tickNs(1 << 9) // all five share one level-1 slot
+	var fired []int
+	hs := make([]Handle, 5)
+	for i := range hs {
+		i := i
+		hs[i] = q.Schedule(at+simtime.Time(i), func(simtime.Time) { fired = append(fired, i) })
+	}
+	q.Cancel(hs[0])
+	q.Cancel(hs[2])
+	q.Cancel(hs[4])
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d after cancels, want 2", q.Len())
+	}
+	for q.Fire() {
+	}
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("fired %v, want [1 3]", fired)
+	}
+}
+
+// TestWheelCloneEquivalence forks a wheel-backed queue mid-flight and
+// checks the clone fires the identical (time, owner) stream as the parent,
+// and that the parent is undisturbed by draining the clone first.
+func TestWheelCloneEquivalence(t *testing.T) {
+	var q Queue
+	q.SetBackend(BackendWheel)
+	type rec struct {
+		at simtime.Time
+		p  Payload
+	}
+	run := func(q *Queue) []rec {
+		var got []rec
+		q.Dispatch = func(now simtime.Time, p Payload) { got = append(got, rec{now, p}) }
+		for q.Fire() {
+		}
+		return got
+	}
+	ticks := []int64{2, 2, 70, 70, 4097, 1 << 19, 1 << 26, 1 << 26}
+	for i, tk := range ticks {
+		q.SchedulePayload(tickNs(tk), Payload{Owner: int32(i)})
+	}
+	// Burn a couple so the clone starts mid-flight with a warm cursor.
+	q.Dispatch = func(simtime.Time, Payload) {}
+	q.Fire()
+	q.Fire()
+
+	var c Queue
+	if err := q.CloneInto(&c, clone.New()); err != nil {
+		t.Fatalf("CloneInto: %v", err)
+	}
+	if c.Len() != q.Len() {
+		t.Fatalf("clone Len = %d, parent %d", c.Len(), q.Len())
+	}
+	cloneGot := run(&c)
+	parentGot := run(&q)
+	if len(cloneGot) != len(parentGot) {
+		t.Fatalf("clone fired %d events, parent %d", len(cloneGot), len(parentGot))
+	}
+	for i := range parentGot {
+		if cloneGot[i] != parentGot[i] {
+			t.Fatalf("event %d: clone %+v, parent %+v", i, cloneGot[i], parentGot[i])
+		}
+	}
+}
+
+// TestWheelRescheduleAcrossContainers moves one event run→slot→overflow→run
+// and checks each hop lands it in the right firing position.
+func TestWheelRescheduleAcrossContainers(t *testing.T) {
+	var q Queue
+	q.SetBackend(BackendWheel)
+	var fired []int
+	note := func(id int) func(simtime.Time) {
+		return func(simtime.Time) { fired = append(fired, id) }
+	}
+	q.Schedule(tickNs(5), note(0))
+	h := q.Schedule(tickNs(0)+1, note(1)) // run container (cursor tick)
+	q.Schedule(tickNs(1<<30), note(2))
+	h = q.Reschedule(h, tickNs(1<<10)) // into a slot
+	h = q.Reschedule(h, tickNs(1<<28)) // into overflow
+	h = q.Reschedule(h, tickNs(0)+2)   // back to the cursor tick
+	for q.Fire() {
+	}
+	want := []int{1, 0, 2}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if h.Active() {
+		t.Fatal("handle still active after firing")
+	}
+}

@@ -111,9 +111,10 @@ func (h *Host) continueVCPU(p *PCPU, now simtime.Time) {
 	v := p.cur
 	j := v.VM.Guest.PickJob(v, now)
 	if j == nil {
-		v.runnable = false
+		hs := &h.hot[v.ID]
+		hs.Runnable = false
+		hs.PCPU = -1
 		v.curJob = nil
-		v.pcpu = nil
 		p.cur = nil
 		h.emitDispatch(p, nil, now, 0)
 		h.sched.VCPUIdle(v, now)
@@ -157,7 +158,7 @@ func (h *Host) dispatch(p *PCPU, now simtime.Time) {
 		if dec.VCPU != nil && dec.RunFor <= 0 {
 			panic(fmt.Sprintf("hv: scheduler %q returned non-positive RunFor", h.sched.Name()))
 		}
-		if dec.VCPU != nil && !dec.VCPU.runnable {
+		if dec.VCPU != nil && !h.hot[dec.VCPU.ID].Runnable {
 			panic(fmt.Sprintf("hv: scheduler %q picked blocked %v", h.sched.Name(), dec.VCPU))
 		}
 
@@ -171,14 +172,14 @@ func (h *Host) dispatch(p *PCPU, now simtime.Time) {
 						VM: old.VM.Name, VCPU: old.Index,
 						Task: old.curJob.Task.Name, Arg: int64(old.curJob.Remaining)})
 				}
-				old.pcpu = nil
+				h.hot[old.ID].PCPU = -1
 				old.curJob = nil // the unfinished job stays queued in the guest
 				// If the preempted VCPU's queue is empty (its job finished
 				// right at this instant), it must block now — otherwise a
 				// stale runnable flag would make the guest skip the wake on
 				// the next job release.
-				if old.runnable && old.VM.Guest.PickJob(old, now) == nil {
-					old.runnable = false
+				if h.hot[old.ID].Runnable && old.VM.Guest.PickJob(old, now) == nil {
+					h.hot[old.ID].Runnable = false
 					h.sched.VCPUIdle(old, now)
 				}
 			}
@@ -186,10 +187,11 @@ func (h *Host) dispatch(p *PCPU, now simtime.Time) {
 			h.Overhead.CtxSwitchTime += h.Costs.ContextSwitch
 			p.chargeOverhead(now, h.Costs.ContextSwitch)
 			if nv := dec.VCPU; nv != nil {
-				if nv.pcpu != nil {
+				hs := &h.hot[nv.ID]
+				if hs.PCPU >= 0 {
 					panic(fmt.Sprintf("hv: %v dispatched on two PCPUs", nv))
 				}
-				if nv.lastPCPU != nil && nv.lastPCPU != p {
+				if hs.LastPCPU >= 0 && hs.LastPCPU != int32(p.ID) {
 					h.Overhead.Migrations++
 					h.Overhead.MigrationTime += h.Costs.Migration
 					p.chargeOverhead(now, h.Costs.Migration)
@@ -197,11 +199,11 @@ func (h *Host) dispatch(p *PCPU, now simtime.Time) {
 					// source PCPU, Event.PCPU the destination.
 					if h.bus.Active() {
 						h.bus.Emit(trace.Event{At: now, Kind: trace.Migrate, PCPU: p.ID,
-							VM: nv.VM.Name, VCPU: nv.Index, Arg: int64(nv.lastPCPU.ID)})
+							VM: nv.VM.Name, VCPU: nv.Index, Arg: int64(hs.LastPCPU)})
 					}
 				}
-				nv.pcpu = p
-				nv.lastPCPU = p
+				hs.PCPU = int32(p.ID)
+				hs.LastPCPU = int32(p.ID)
 			}
 			p.cur = dec.VCPU
 			h.emitDispatch(p, dec.VCPU, now, dec.RunFor)
@@ -215,9 +217,10 @@ func (h *Host) dispatch(p *PCPU, now simtime.Time) {
 		j := p.cur.VM.Guest.PickJob(p.cur, now)
 		if j == nil {
 			v := p.cur
-			v.runnable = false
+			hs := &h.hot[v.ID]
+			hs.Runnable = false
+			hs.PCPU = -1
 			v.curJob = nil
-			v.pcpu = nil
 			p.cur = nil
 			h.emitDispatch(p, nil, now, 0)
 			h.sched.VCPUIdle(v, now)
@@ -241,10 +244,10 @@ func (h *Host) Kick(p *PCPU, now simtime.Time) {
 // VCPUWake marks v runnable (the guest released a job on an idle VCPU) and
 // notifies the host scheduler, which may preempt a PCPU in response.
 func (h *Host) VCPUWake(v *VCPU, now simtime.Time) {
-	if v.runnable {
+	if h.hot[v.ID].Runnable {
 		return
 	}
-	v.runnable = true
+	h.hot[v.ID].Runnable = true
 	h.sched.VCPUWake(v, now)
 }
 
@@ -253,10 +256,11 @@ func (h *Host) VCPUWake(v *VCPU, now simtime.Time) {
 // guest-level EDF. For undispatched VCPUs it is a no-op (the guest queue
 // is consulted at next dispatch).
 func (h *Host) VCPURecheck(v *VCPU, now simtime.Time) {
-	p := v.pcpu
-	if p == nil {
+	pi := h.hot[v.ID].PCPU
+	if pi < 0 {
 		return
 	}
+	p := h.pcpus[pi]
 	// As in Kick, the standing kernel event stays pending: every path below
 	// ends in setEvent (via refresh, armEvent, or dispatch), which moves it
 	// in place.
@@ -267,9 +271,10 @@ func (h *Host) VCPURecheck(v *VCPU, now simtime.Time) {
 	}
 	j := v.VM.Guest.PickJob(v, now)
 	if j == nil {
-		v.runnable = false
+		hs := &h.hot[v.ID]
+		hs.Runnable = false
+		hs.PCPU = -1
 		v.curJob = nil
-		v.pcpu = nil
 		p.cur = nil
 		h.emitDispatch(p, nil, now, 0)
 		h.sched.VCPUIdle(v, now)

@@ -54,6 +54,13 @@ func (h *Host) ForkHandler(ctx *clone.Ctx) sim.Handler {
 	for i, v := range h.vcpus {
 		nh.vcpus[i] = cloneVCPU(ctx, v)
 	}
+	// The id-arena and its struct-of-arrays mirror: hot is plain values, a
+	// slice copy suffices; byID remaps through the memo (holes stay nil).
+	nh.hot = append([]VCPUHot(nil), h.hot...)
+	nh.byID = make([]*VCPU, len(h.byID))
+	for i, v := range h.byID {
+		nh.byID[i] = cloneVCPU(ctx, v)
+	}
 	nh.sched = h.sched.ForkHandler(ctx).(HostScheduler)
 	return nh
 }
@@ -84,10 +91,9 @@ func cloneVM(ctx *clone.Ctx, vm *VM) *VM {
 	return nvm
 }
 
-// cloneVCPU deep-copies a VCPU. SchedData is reset to nil — it is the host
-// scheduler's private state, and the scheduler's ForkHandler re-installs
-// its own clone of it; a forgotten re-install surfaces as a nil deref
-// instead of silently aliasing the parent run.
+// cloneVCPU deep-copies a VCPU. Scheduler-private and dispatch hot state
+// live in flat arrays on the scheduler and Host respectively (cloned by
+// their owners), so only the VCPU's own fields need remapping here.
 func cloneVCPU(ctx *clone.Ctx, v *VCPU) *VCPU {
 	if v == nil {
 		return nil
@@ -97,11 +103,9 @@ func cloneVCPU(ctx *clone.Ctx, v *VCPU) *VCPU {
 	}
 	nv := &VCPU{}
 	*nv = *v
-	nv.SchedData = nil
 	ctx.Put(v, nv)
 	nv.VM = cloneVM(ctx, v.VM)
-	nv.pcpu = clone.Get(ctx, v.pcpu)
-	nv.lastPCPU = clone.Get(ctx, v.lastPCPU)
+	nv.host = clone.Get(ctx, v.host)
 	nv.curJob = task.CloneJob(ctx, v.curJob)
 	return nv
 }

@@ -19,6 +19,13 @@ type Host struct {
 	vms   []*VM
 	vcpus []*VCPU
 
+	// byID is the VCPU id-arena: byID[id] is the admitted VCPU with that
+	// dense ID, nil after removal (IDs are never reused once admitted). hot
+	// is the struct-of-arrays mirror of the dispatch path's per-VCPU state;
+	// see VCPUHot. Both are indexed by VCPU.ID and grow monotonically.
+	byID []*VCPU
+	hot  []VCPUHot
+
 	// Overhead accumulates scheduler overhead (Table 6 measurements).
 	Overhead Overhead
 
@@ -103,6 +110,20 @@ func (h *Host) VMs() []*VM { return h.vms }
 // VCPUs returns every VCPU on the host in creation order.
 func (h *Host) VCPUs() []*VCPU { return h.vcpus }
 
+// ByID returns the VCPU with the given dense ID, or nil if it was removed.
+// IDs are assigned at admission and never reused, so the arena only grows.
+func (h *Host) ByID(id int) *VCPU { return h.byID[id] }
+
+// Hot exposes the struct-of-arrays per-VCPU dispatch state, indexed by
+// VCPU.ID. Host schedulers read it on their hot paths (eligibility scans,
+// replenish walks) instead of calling Runnable/OnPCPU per VCPU; treat it
+// as read-only — only the dispatch path writes it.
+func (h *Host) Hot() []VCPUHot { return h.hot }
+
+// NumIDs reports the size of the VCPU id space (high-water mark of
+// assigned IDs + 1); Hot and ByID are valid for indices below it.
+func (h *Host) NumIDs() int { return len(h.byID) }
+
 // NewVM creates a VM whose scheduling behaviour is defined by guest.
 func (h *Host) NewVM(name string, guest GuestDriver) *VM {
 	vm := &VM{ID: len(h.vms), Name: name, Guest: guest, host: h}
@@ -128,7 +149,10 @@ func (h *Host) Start() {
 // StartTime reports when Start was called.
 func (h *Host) StartTime() simtime.Time { return h.startTime }
 
-// addVCPU registers a new VCPU with the host and its scheduler.
+// addVCPU registers a new VCPU with the host and its scheduler. The arena
+// slot (byID + hot entry) is staked out before admission so the scheduler
+// can index by ID while deciding; a rejected VCPU's slot is vacated and its
+// ID reused by the next attempt (nextVCPU only advances on success).
 func (h *Host) addVCPU(vm *VM, rt bool, res Reservation, weight int) (*VCPU, error) {
 	v := &VCPU{
 		ID:           h.nextVCPU,
@@ -138,8 +162,16 @@ func (h *Host) addVCPU(vm *VM, rt bool, res Reservation, weight int) (*VCPU, err
 		Res:          res,
 		Weight:       weight,
 		DeadlineSlot: simtime.Never,
+		host:         h,
 	}
+	for len(h.byID) <= v.ID {
+		h.byID = append(h.byID, nil)
+		h.hot = append(h.hot, VCPUHot{PCPU: -1, LastPCPU: -1})
+	}
+	h.byID[v.ID] = v
+	h.hot[v.ID] = VCPUHot{PCPU: -1, LastPCPU: -1}
 	if err := h.sched.AdmitVCPU(v); err != nil {
+		h.byID[v.ID] = nil
 		if h.bus.Active() {
 			h.bus.Emit(trace.Event{At: h.Sim.Now(), Kind: trace.Reject, PCPU: -1,
 				VM: vm.Name, VCPU: v.Index, Arg: int64(res.Budget)})
@@ -179,18 +211,20 @@ func (h *Host) SchedRTVirt(hc Hypercall) error {
 		if hc.VCPU != nil {
 			ev.VM = hc.VCPU.VM.Name
 			ev.VCPU = hc.VCPU.Index
-			if hc.VCPU.pcpu != nil {
-				ev.PCPU = hc.VCPU.pcpu.ID
+			if i := h.hot[hc.VCPU.ID].PCPU; i >= 0 {
+				ev.PCPU = int(i)
 			}
 		}
 		h.bus.Emit(ev)
 	}
 	// The hypercall executes in the calling guest's kernel: if that VCPU is
 	// on a PCPU right now, the cost eats into its CPU time.
-	if hc.VCPU != nil && hc.VCPU.pcpu != nil {
-		p := hc.VCPU.pcpu
-		h.advance(p, now)
-		p.chargeOverhead(now, h.Costs.Hypercall)
+	if hc.VCPU != nil {
+		if i := h.hot[hc.VCPU.ID].PCPU; i >= 0 {
+			p := h.pcpus[i]
+			h.advance(p, now)
+			p.chargeOverhead(now, h.Costs.Hypercall)
+		}
 	}
 	cl, ok := h.sched.(CrossLayer)
 	if !ok {
@@ -244,7 +278,8 @@ func (h *Host) RemoveVM(vm *VM) {
 	now := h.Sim.Now()
 	var orphaned []*PCPU
 	for _, v := range vm.VCPUs {
-		if p := v.pcpu; p != nil {
+		if i := h.hot[v.ID].PCPU; i >= 0 {
+			p := h.pcpus[i]
 			h.Sim.Cancel(p.ev)
 			p.ev = eventRef{}
 			h.advance(p, now)
@@ -253,14 +288,15 @@ func (h *Host) RemoveVM(vm *VM) {
 					j.Abandon(now)
 				}
 				v.curJob = nil
-				v.pcpu = nil
+				h.hot[v.ID].PCPU = -1
 				p.cur = nil
 				h.emitDispatch(p, nil, now, 0)
 				orphaned = append(orphaned, p)
 			}
 		}
-		v.runnable = false
+		h.hot[v.ID].Runnable = false
 		h.sched.RemoveVCPU(v, now)
+		h.byID[v.ID] = nil
 		for i, x := range h.vcpus {
 			if x == v {
 				h.vcpus = append(h.vcpus[:i], h.vcpus[i+1:]...)

@@ -73,23 +73,34 @@ type VCPU struct {
 	// Zero means the VCPU hosts no sporadic RTAs.
 	SporadicFloor simtime.Duration
 
-	// SchedData is per-host-scheduler private state.
-	SchedData any
-
 	// TotalRun is the accumulated job execution time on this VCPU.
 	TotalRun simtime.Duration
 
-	runnable bool
-	pcpu     *PCPU // where currently dispatched; nil otherwise
-	lastPCPU *PCPU
-	curJob   *task.Job
+	host   *Host
+	curJob *task.Job
+}
+
+// VCPUHot is the dispatch path's per-VCPU hot state, held in a flat array
+// on the Host indexed by dense VCPU ID (Host.Hot) rather than on the VCPU
+// struct, so dispatch, pickEDF-style scans, and replenish walk contiguous
+// memory instead of chasing per-VCPU pointers. PCPU and LastPCPU are PCPU
+// IDs; -1 means none.
+type VCPUHot struct {
+	Runnable bool
+	PCPU     int32
+	LastPCPU int32
 }
 
 // Runnable reports whether the VCPU has runnable guest work.
-func (v *VCPU) Runnable() bool { return v.runnable }
+func (v *VCPU) Runnable() bool { return v.host.hot[v.ID].Runnable }
 
 // OnPCPU returns the PCPU the VCPU is currently dispatched on, or nil.
-func (v *VCPU) OnPCPU() *PCPU { return v.pcpu }
+func (v *VCPU) OnPCPU() *PCPU {
+	if i := v.host.hot[v.ID].PCPU; i >= 0 {
+		return v.host.pcpus[i]
+	}
+	return nil
+}
 
 // CurrentJob returns the job executing on the VCPU right now, or nil.
 func (v *VCPU) CurrentJob() *task.Job { return v.curJob }
@@ -163,10 +174,7 @@ func (h *Host) emitJobDone(v *VCPU, j *task.Job, now simtime.Time) {
 		kind = trace.JobMiss
 		arg = int64(j.Finish.Sub(j.Deadline))
 	}
-	pcpu := -1
-	if v.pcpu != nil {
-		pcpu = v.pcpu.ID
-	}
+	pcpu := int(h.hot[v.ID].PCPU)
 	h.bus.Emit(trace.Event{At: now, Kind: kind, PCPU: pcpu,
 		VM: v.VM.Name, VCPU: v.Index, Task: j.Task.Name, Arg: arg})
 }
@@ -176,10 +184,7 @@ func (h *Host) emitGuestSwitch(v *VCPU, j *task.Job, now simtime.Time) {
 	if !h.bus.Active() {
 		return
 	}
-	pcpu := -1
-	if v.pcpu != nil {
-		pcpu = v.pcpu.ID
-	}
+	pcpu := int(h.hot[v.ID].PCPU)
 	h.bus.Emit(trace.Event{At: now, Kind: trace.GuestSwitch, PCPU: pcpu,
 		VM: v.VM.Name, VCPU: v.Index, Task: j.Task.Name})
 }

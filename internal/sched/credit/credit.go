@@ -72,11 +72,15 @@ func DefaultConfig() Config {
 	}
 }
 
-// vcpuState is the per-VCPU credit accounting.
+// vcpuState is the per-VCPU credit accounting. All accounts live in the
+// Scheduler's flat st array indexed by dense VCPU ID, so the round-robin
+// scan in Schedule walks two contiguous arrays (the ID ring and st)
+// instead of dereferencing a per-VCPU interface pointer.
 type vcpuState struct {
 	credits   simtime.Duration // signed: negative = OVER
 	boost     bool
-	runningOn int
+	active    bool // slot holds an admitted VCPU
+	runningOn int32
 	lastAt    simtime.Time
 	// cap, when positive, is the VCPU's maximum CPU share (Xen's sched
 	// credit "cap" parameter): once the period's capped credits are burnt
@@ -91,10 +95,12 @@ type Scheduler struct {
 	h   *hv.Host
 	id  int32
 
-	vcpus  []*hv.VCPU
+	// vcpus is the round-robin ring as VCPU IDs in admission order; st is
+	// the struct-of-arrays credit state indexed by VCPU ID. The host's
+	// id-arena (Host.ByID) resolves IDs back to VCPUs for cold fields.
+	vcpus  []int32
+	st     []vcpuState
 	cursor int
-	// byID resolves the Owner field of typed events back to the VCPU.
-	byID map[int32]*hv.VCPU
 
 	started bool
 }
@@ -114,7 +120,7 @@ func New(cfg Config) *Scheduler {
 	if cfg.TickEvery <= 0 {
 		cfg.TickEvery = d.TickEvery
 	}
-	return &Scheduler{cfg: cfg, byID: make(map[int32]*hv.VCPU)}
+	return &Scheduler{cfg: cfg}
 }
 
 // Name implements hv.HostScheduler.
@@ -141,17 +147,25 @@ func (s *Scheduler) HandleSimEvent(now simtime.Time, ev sim.Payload) {
 	case evTick:
 		s.tick(now)
 	case evRatelimitKick:
-		// The waker may have been torn down since the kick was armed; a
-		// missing byID entry means the retry is moot.
-		if v, ok := s.byID[ev.Owner]; ok && v.Runnable() && v.OnPCPU() == nil {
-			s.h.Kick(s.h.PCPUs()[ev.Arg0], now)
+		// The waker may have been torn down since the kick was armed; an
+		// inactive slot means the retry is moot.
+		if int(ev.Owner) < len(s.st) && s.st[ev.Owner].active {
+			if hs := s.h.Hot()[ev.Owner]; hs.Runnable && hs.PCPU < 0 {
+				s.h.Kick(s.h.PCPUs()[ev.Arg0], now)
+			}
 		}
 	default:
 		panic(fmt.Sprintf("credit: unknown event kind %d", ev.Kind))
 	}
 }
 
-func state(v *hv.VCPU) *vcpuState { return v.SchedData.(*vcpuState) }
+// managed reports whether v has an active credit account.
+func (s *Scheduler) managed(v *hv.VCPU) bool {
+	return v.ID < len(s.st) && s.st[v.ID].active
+}
+
+// state returns v's account; the caller has established it is active.
+func (s *Scheduler) state(v *hv.VCPU) *vcpuState { return &s.st[v.ID] }
 
 // AdmitVCPU implements hv.HostScheduler: Credit admits everything. A VCPU
 // created with a non-zero reservation is interpreted as capped at the
@@ -160,14 +174,16 @@ func (s *Scheduler) AdmitVCPU(v *hv.VCPU) error {
 	if v.Weight <= 0 {
 		return fmt.Errorf("credit: %w: non-positive weight %d", hv.ErrAdmission, v.Weight)
 	}
-	st := &vcpuState{runningOn: -1}
+	st := vcpuState{runningOn: -1, active: true}
 	if v.RT && v.Res.Budget > 0 {
 		st.cap = v.Res.Bandwidth()
 		st.credits = simtime.Duration(st.cap * float64(s.cfg.AccountPeriod))
 	}
-	v.SchedData = st
-	s.vcpus = append(s.vcpus, v)
-	s.byID[int32(v.ID)] = v
+	for len(s.st) <= v.ID {
+		s.st = append(s.st, vcpuState{})
+	}
+	s.st[v.ID] = st
+	s.vcpus = append(s.vcpus, int32(v.ID))
 	return nil
 }
 
@@ -175,8 +191,8 @@ func (s *Scheduler) AdmitVCPU(v *hv.VCPU) error {
 // VCPU's per-period refill is exactly cap × AccountPeriod. Read-only;
 // used by the invariant oracles in internal/check.
 func (s *Scheduler) CapOf(v *hv.VCPU) float64 {
-	if st, ok := v.SchedData.(*vcpuState); ok {
-		return st.cap
+	if s.managed(v) {
+		return s.st[v.ID].cap
 	}
 	return 0
 }
@@ -184,13 +200,14 @@ func (s *Scheduler) CapOf(v *hv.VCPU) float64 {
 // RemoveVCPU implements hv.HostScheduler.
 func (s *Scheduler) RemoveVCPU(v *hv.VCPU, now simtime.Time) {
 	for i, x := range s.vcpus {
-		if x == v {
+		if x == int32(v.ID) {
 			s.vcpus = append(s.vcpus[:i], s.vcpus[i+1:]...)
 			break
 		}
 	}
-	delete(s.byID, int32(v.ID))
-	v.SchedData = nil
+	if v.ID < len(s.st) {
+		s.st[v.ID] = vcpuState{}
+	}
 }
 
 // UpdateVCPU implements hv.HostScheduler: reservations are meaningless to
@@ -203,13 +220,14 @@ func (s *Scheduler) UpdateVCPU(v *hv.VCPU, res hv.Reservation, now simtime.Time)
 // account refills credits proportionally to weight (Xen's csched_acct).
 func (s *Scheduler) account(now simtime.Time) {
 	var totalWeight int64
-	for _, v := range s.vcpus {
-		totalWeight += int64(v.Weight)
+	for _, id := range s.vcpus {
+		totalWeight += int64(s.h.ByID(int(id)).Weight)
 	}
 	if totalWeight > 0 {
 		pool := simtime.Duration(int64(s.cfg.AccountPeriod) * int64(s.h.NumPCPUs()))
-		for _, v := range s.vcpus {
-			st := state(v)
+		for _, id := range s.vcpus {
+			v := s.h.ByID(int(id))
+			st := &s.st[id]
 			s.settle(v, now)
 			share := simtime.ScaleDuration(pool, int64(v.Weight), totalWeight)
 			if st.cap > 0 {
@@ -241,8 +259,8 @@ func (s *Scheduler) account(now simtime.Time) {
 func (s *Scheduler) tick(now simtime.Time) {
 	for _, p := range s.h.PCPUs() {
 		if cur := p.Current(); cur != nil {
-			if st, ok := cur.SchedData.(*vcpuState); ok && st.boost {
-				st.boost = false
+			if s.managed(cur) && s.st[cur.ID].boost {
+				s.st[cur.ID].boost = false
 			}
 			if s.cfg.TickCost > 0 {
 				s.h.Overhead.ScheduleCalls++
@@ -255,7 +273,7 @@ func (s *Scheduler) tick(now simtime.Time) {
 
 // settle burns credits for a running VCPU up to now.
 func (s *Scheduler) settle(v *hv.VCPU, now simtime.Time) {
-	st := state(v)
+	st := s.state(v)
 	if st.runningOn < 0 {
 		return
 	}
@@ -272,7 +290,7 @@ func (s *Scheduler) settle(v *hv.VCPU, now simtime.Time) {
 		if st.cap > 0 && st.credits < 0 {
 			over = int64(-st.credits)
 		}
-		s.h.Emit(trace.Event{At: now, Kind: trace.Deplete, PCPU: st.runningOn,
+		s.h.Emit(trace.Event{At: now, Kind: trace.Deplete, PCPU: int(st.runningOn),
 			VM: v.VM.Name, VCPU: v.Index, Arg: over})
 	}
 }
@@ -300,7 +318,7 @@ func (s *Scheduler) VCPUWake(v *hv.VCPU, now simtime.Time) {
 	if !s.started {
 		return
 	}
-	st := state(v)
+	st := s.state(v)
 	// Xen boosts a waking VCPU unless it is already over its fair share.
 	if st.credits >= 0 {
 		st.boost = true
@@ -318,10 +336,9 @@ func (s *Scheduler) VCPUWake(v *hv.VCPU, now simtime.Time) {
 			worst = 1 << 30
 			break
 		}
-		cs, ok := cur.SchedData.(*vcpuState)
 		pr := prioParked + 1 // foreign occupant ranks lowest
-		if ok {
-			pr = prio(cs)
+		if s.managed(cur) {
+			pr = prio(&s.st[cur.ID])
 		}
 		if pr > worst {
 			worst = pr
@@ -332,16 +349,18 @@ func (s *Scheduler) VCPUWake(v *hv.VCPU, now simtime.Time) {
 		return
 	}
 	if cur := target.Current(); cur != nil {
-		cs, ok := cur.SchedData.(*vcpuState)
-		if ok && prio(cs) <= prio(st) {
+		ok := s.managed(cur)
+		if ok && prio(&s.st[cur.ID]) <= prio(st) {
 			return // nothing weaker than the waker is running
 		}
 		// Ratelimit: let the current occupant finish its minimum run.
-		if ran := now.Sub(cs.lastAt); ok && ran < s.cfg.Ratelimit {
-			delay := s.cfg.Ratelimit - ran
-			s.h.Sim.PostAfter(delay, sim.Payload{Handler: s.id, Kind: evRatelimitKick,
-				Owner: int32(v.ID), Arg0: int64(target.ID)})
-			return
+		if ok {
+			if ran := now.Sub(s.st[cur.ID].lastAt); ran < s.cfg.Ratelimit {
+				delay := s.cfg.Ratelimit - ran
+				s.h.Sim.PostAfter(delay, sim.Payload{Handler: s.id, Kind: evRatelimitKick,
+					Owner: int32(v.ID), Arg0: int64(target.ID)})
+				return
+			}
 		}
 	}
 	s.h.Kick(target, now)
@@ -349,9 +368,9 @@ func (s *Scheduler) VCPUWake(v *hv.VCPU, now simtime.Time) {
 
 // VCPUIdle implements hv.HostScheduler.
 func (s *Scheduler) VCPUIdle(v *hv.VCPU, now simtime.Time) {
-	if st, ok := v.SchedData.(*vcpuState); ok {
+	if s.managed(v) {
 		s.settle(v, now)
-		st.runningOn = -1
+		s.st[v.ID].runningOn = -1
 	}
 }
 
@@ -359,37 +378,39 @@ func (s *Scheduler) VCPUIdle(v *hv.VCPU, now simtime.Time) {
 // non-empty priority band.
 func (s *Scheduler) Schedule(p *hv.PCPU, now simtime.Time) hv.Decision {
 	if cur := p.Current(); cur != nil {
-		if st, ok := cur.SchedData.(*vcpuState); ok {
+		if s.managed(cur) {
 			s.settle(cur, now)
-			st.runningOn = -1
+			s.st[cur.ID].runningOn = -1
 		}
 	}
 	n := len(s.vcpus)
 	work := 0
-	var best *hv.VCPU
+	best := int32(-1)
 	bestPrio := prioOver + 1
 	bestPos := 0
+	hot := s.h.Hot()
+	pid := int32(p.ID)
 	for i := 0; i < n; i++ {
-		v := s.vcpus[(s.cursor+i)%n]
+		id := s.vcpus[(s.cursor+i)%n]
 		work++
-		if !v.Runnable() || (v.OnPCPU() != nil && v.OnPCPU() != p) {
+		if hs := hot[id]; !hs.Runnable || (hs.PCPU >= 0 && hs.PCPU != pid) {
 			continue
 		}
-		if pr := prio(state(v)); pr < bestPrio && pr != prioParked {
+		if pr := prio(&s.st[id]); pr < bestPrio && pr != prioParked {
 			bestPrio = pr
-			best = v
+			best = id
 			bestPos = i
 			if pr == prioBoost {
 				break
 			}
 		}
 	}
-	if best == nil {
+	if best < 0 {
 		return hv.Decision{VCPU: nil, RunFor: simtime.Infinite, Work: work}
 	}
 	s.cursor = (s.cursor + bestPos + 1) % n
-	st := state(best)
-	st.runningOn = p.ID
+	st := &s.st[best]
+	st.runningOn = pid
 	st.lastAt = now
 	run := s.cfg.Timeslice
 	if st.cap > 0 && st.credits < run {
@@ -398,5 +419,5 @@ func (s *Scheduler) Schedule(p *hv.PCPU, now simtime.Time) hv.Decision {
 			run = 1
 		}
 	}
-	return hv.Decision{VCPU: best, RunFor: run, Work: work}
+	return hv.Decision{VCPU: s.h.ByID(int(best)), RunFor: run, Work: work}
 }

@@ -2,15 +2,13 @@ package credit
 
 import (
 	"rtvirt/internal/clone"
-	"rtvirt/internal/hv"
 	"rtvirt/internal/sim"
 )
 
-// ForkHandler implements sim.Handler: deep-copy every VCPU's credit
-// account (credits, boost, cap, charging PCPU) onto the cloned VCPUs and
-// rebuild the round-robin order with remapped pointers. The cursor is
-// carried verbatim so the fork picks up the rotation exactly where the
-// source left it.
+// ForkHandler implements sim.Handler. With the credit accounts in a flat
+// value array and the round-robin ring holding IDs, the fork is two slice
+// copies — no pointers to remap. The cursor is carried verbatim so the
+// fork picks up the rotation exactly where the source left it.
 func (s *Scheduler) ForkHandler(ctx *clone.Ctx) sim.Handler {
 	if n, ok := ctx.Lookup(s); ok {
 		return n.(*Scheduler)
@@ -21,19 +19,9 @@ func (s *Scheduler) ForkHandler(ctx *clone.Ctx) sim.Handler {
 		id:      s.id,
 		cursor:  s.cursor,
 		started: s.started,
-		byID:    make(map[int32]*hv.VCPU, len(s.byID)),
 	}
 	ctx.Put(s, ns)
-	ns.vcpus = make([]*hv.VCPU, len(s.vcpus))
-	for i, v := range s.vcpus {
-		nv := clone.Get(ctx, v)
-		nst := &vcpuState{}
-		*nst = *state(v)
-		nv.SchedData = nst
-		ns.vcpus[i] = nv
-	}
-	for id, v := range s.byID {
-		ns.byID[id] = clone.Get(ctx, v)
-	}
+	ns.vcpus = append([]int32(nil), s.vcpus...)
+	ns.st = append([]vcpuState(nil), s.st...)
 	return ns
 }

@@ -76,7 +76,10 @@ func DefaultConfig() Config {
 }
 
 // entry is one VCPU's allocation quota on one PCPU within the current
-// global slice, in McNaughton wrap order.
+// global slice, in McNaughton wrap order. Entries are plain values held in
+// each pcpuState's flat slice — the per-decision scan walks one contiguous
+// array, and a slice rebuild is a truncate-and-append with no per-entry
+// allocation or pooling.
 type entry struct {
 	v         *hv.VCPU
 	remaining simtime.Duration // quota not yet consumed
@@ -84,22 +87,25 @@ type entry struct {
 }
 
 type pcpuState struct {
-	entries []*entry
-	// idx maps a VCPU to its entry's position in entries for the current
-	// slice (a VCPU holds at most one entry per PCPU: wrap placement is
-	// contiguous, and wrapPlace visits each PCPU once). Rebuilt per slice
-	// with the map storage reused, it turns the per-decision entry
-	// searches (wake preemption, rescue scans, charge attribution) from
-	// linear sweeps into O(1) lookups.
-	idx map[*hv.VCPU]int
+	entries []entry
+	// idx maps a VCPU ID to its entry's position in entries for the
+	// current slice, -1 otherwise (a VCPU holds at most one entry per
+	// PCPU: wrap placement is contiguous, and wrapPlace visits each PCPU
+	// once). Sized to the host's ID space and rebuilt per slice with the
+	// storage reused, it turns the per-decision entry searches (wake
+	// preemption, rescue scans, charge attribution) from linear sweeps
+	// into O(1) flat-array lookups.
+	idx []int32
 	// firstLive is the index of the first entry with quota left. Entries
 	// exhaust monotonically within a slice in wrap order, so Schedule can
 	// skip the drained prefix wholesale — it still charges the modeled
 	// scan cost for them, keeping Decision.Work identical to a full sweep.
 	firstLive int
-	// lastEntry/lastAt attribute elapsed run time to the entry that was
-	// granted at the previous Schedule decision on this PCPU.
-	lastEntry *entry
+	// lastEntry/lastAt attribute elapsed run time to the entry (by index,
+	// -1 = none) that was granted at the previous Schedule decision on
+	// this PCPU. Entry positions only change inside rebuild, which settles
+	// the charge first, so a held index never goes stale.
+	lastEntry int
 	lastAt    simtime.Time
 	bgCursor  int
 }
@@ -132,26 +138,31 @@ type Scheduler struct {
 	rescuePending        bool
 
 	// carry holds each VCPU's fractional allocation remainder (in units
-	// of 1/Period nanoseconds). Floor division with this carry delivers
-	// exactly Budget per Period across boundary-aligned spans, with no
-	// cumulative drift and no over-allocation within a slice.
-	carry map[*hv.VCPU]int64
+	// of 1/Period nanoseconds), indexed by dense VCPU ID. Floor division
+	// with this carry delivers exactly Budget per Period across
+	// boundary-aligned spans, with no cumulative drift and no
+	// over-allocation within a slice.
+	carry []int64
 
-	// Idle-tax state (§6 extension): observed usage in the current window
-	// and the smoothed per-VCPU tax factor in (TaxFloor, 1].
-	taxFactor map[*hv.VCPU]float64
-	windowUse map[*hv.VCPU]simtime.Duration
+	// Idle-tax state (§6 extension), both indexed by VCPU ID: observed
+	// usage in the current window and the smoothed per-VCPU tax factor in
+	// (TaxFloor, 1]; factor 0 is the unset sentinel and reads as 1.
+	taxFactor []float64
+	windowUse []simtime.Duration
 	taxEv     eventq.Handle
-
-	// entryPool recycles slice-layout entries across rebuilds; a steady
-	// workload reaches a high-water mark after a few slices and then the
-	// per-boundary layout allocates nothing.
-	entryPool []*entry
 
 	// Boundaries counts global slices; SlicesTotal accumulates their
 	// lengths (for diagnostics and tests).
 	Boundaries  uint64
 	SlicesTotal simtime.Duration
+}
+
+// slot grows an ID-indexed slice to cover id and returns the element.
+func grow[T any](s *[]T, id int) *T {
+	for len(*s) <= id {
+		*s = append(*s, *new(T))
+	}
+	return &(*s)[id]
 }
 
 // New creates a DP-WRAP scheduler.
@@ -171,7 +182,7 @@ func New(cfg Config) *Scheduler {
 	if cfg.TaxFloor <= 0 || cfg.TaxFloor > 1 {
 		cfg.TaxFloor = 0.25
 	}
-	return &Scheduler{cfg: cfg, carry: map[*hv.VCPU]int64{}, taxFactor: map[*hv.VCPU]float64{}, windowUse: map[*hv.VCPU]simtime.Duration{}}
+	return &Scheduler{cfg: cfg}
 }
 
 // Name implements hv.HostScheduler.
@@ -182,7 +193,7 @@ func (s *Scheduler) Attach(h *hv.Host) {
 	s.h = h
 	s.id = h.Sim.RegisterHandler(s)
 	for range h.PCPUs() {
-		s.pcpu = append(s.pcpu, &pcpuState{idx: map[*hv.VCPU]int{}})
+		s.pcpu = append(s.pcpu, &pcpuState{lastEntry: -1})
 	}
 }
 
@@ -228,8 +239,8 @@ func (s *Scheduler) settleTax(now simtime.Time) {
 		if !v.RT || v.Res.Budget <= 0 {
 			continue
 		}
-		prev, ok := s.taxFactor[v]
-		if !ok {
+		prev := *grow(&s.taxFactor, v.ID)
+		if prev == 0 {
 			prev = 1.0
 		}
 		// Usage is judged against the *taxed* entitlement: a VM that fully
@@ -237,8 +248,8 @@ func (s *Scheduler) settleTax(now simtime.Time) {
 		// factor climbs back — otherwise the tax would throttle the very
 		// usage signal that could lift it.
 		entitled := float64(s.cfg.TaxWindow) * v.Res.Bandwidth() * prev
-		used := float64(s.windowUse[v])
-		s.windowUse[v] = 0
+		used := float64(*grow(&s.windowUse, v.ID))
+		s.windowUse[v.ID] = 0
 		ratio := 1.0
 		if entitled > 0 {
 			ratio = used / entitled
@@ -249,14 +260,14 @@ func (s *Scheduler) settleTax(now simtime.Time) {
 			if next > 1 {
 				next = 1
 			}
-			s.taxFactor[v] = next
+			s.taxFactor[v.ID] = next
 			continue
 		}
 		f := ratio * prev
 		if f < s.cfg.TaxFloor {
 			f = s.cfg.TaxFloor
 		}
-		s.taxFactor[v] = (prev + f) / 2
+		s.taxFactor[v.ID] = (prev + f) / 2
 	}
 }
 
@@ -265,8 +276,8 @@ func (s *Scheduler) factorOf(v *hv.VCPU) float64 {
 	if !s.cfg.IdleTax {
 		return 1.0
 	}
-	if f, ok := s.taxFactor[v]; ok {
-		return f
+	if v.ID < len(s.taxFactor) && s.taxFactor[v.ID] != 0 {
+		return s.taxFactor[v.ID]
 	}
 	return 1.0
 }
@@ -303,6 +314,7 @@ func (s *Scheduler) AdmitVCPU(v *hv.VCPU) error {
 			hv.ErrAdmission, s.rtBandwidth(v, v.Res), s.capacity())
 	}
 	s.vcpus = append(s.vcpus, v)
+	*grow(&s.carry, v.ID) = 0
 	return nil
 }
 
@@ -314,7 +326,15 @@ func (s *Scheduler) RemoveVCPU(v *hv.VCPU, now simtime.Time) {
 			break
 		}
 	}
-	delete(s.carry, v)
+	if v.ID < len(s.carry) {
+		s.carry[v.ID] = 0
+	}
+	if v.ID < len(s.taxFactor) {
+		s.taxFactor[v.ID] = 0
+	}
+	if v.ID < len(s.windowUse) {
+		s.windowUse[v.ID] = 0
+	}
 	if s.started {
 		s.replanKick(now)
 	}
@@ -418,15 +438,13 @@ func (s *Scheduler) replanKick(now simtime.Time) {
 // deadline from the shared slots, proportional partitioning, wrap-around
 // layout. It does not kick the PCPUs.
 func (s *Scheduler) rebuild(now simtime.Time) {
-	// Charge outstanding run time to the old entries before recycling.
+	// Charge outstanding run time to the old entries before truncating;
+	// the backing arrays are retained, so steady-state rebuilds allocate
+	// nothing.
 	for _, ps := range s.pcpu {
 		s.chargeRun(ps, now)
-		for _, e := range ps.entries {
-			e.v = nil
-			s.entryPool = append(s.entryPool, e)
-		}
 		ps.entries = ps.entries[:0]
-		ps.lastEntry = nil
+		ps.lastEntry = -1
 	}
 	s.h.Sim.Cancel(s.boundaryEv)
 	s.boundaryEv = eventq.Handle{}
@@ -494,7 +512,7 @@ func (s *Scheduler) rebuild(now simtime.Time) {
 		for pi := 0; pi < m; pi++ {
 			if pinnedFill[pi]+alloc <= slice {
 				ps := s.pcpu[pi]
-				ps.entries = append(ps.entries, s.newEntry(v, alloc, pi))
+				ps.entries = append(ps.entries, entry{v: v, remaining: alloc, pcpu: pi})
 				pinnedFill[pi] += alloc
 				placed = true
 				break
@@ -532,7 +550,7 @@ func (s *Scheduler) rebuild(now simtime.Time) {
 			room := slice - offset
 			take := simtime.MinDur(alloc, room)
 			ps := s.pcpu[pcpuIdx]
-			ps.entries = append(ps.entries, s.newEntry(v, take, pcpuIdx))
+			ps.entries = append(ps.entries, entry{v: v, remaining: take, pcpu: pcpuIdx})
 			alloc -= take
 			offset += take
 			if offset >= slice {
@@ -552,12 +570,18 @@ func (s *Scheduler) rebuild(now simtime.Time) {
 	}
 
 	// Reindex the new layout. Positions are final only here: wrapPlace may
-	// have prepended continuation fragments. clear() keeps the map storage,
-	// so steady-state rebuilds allocate nothing.
+	// have prepended continuation fragments. The ID-indexed slice is reused
+	// and re-filled with -1, so steady-state rebuilds allocate nothing.
+	ids := s.h.NumIDs()
 	for _, ps := range s.pcpu {
-		clear(ps.idx)
-		for i, e := range ps.entries {
-			ps.idx[e.v] = i
+		for len(ps.idx) < ids {
+			ps.idx = append(ps.idx, -1)
+		}
+		for i := range ps.idx {
+			ps.idx[i] = -1
+		}
+		for i := range ps.entries {
+			ps.idx[ps.entries[i].v.ID] = int32(i)
 		}
 		ps.firstLive = 0
 	}
@@ -575,18 +599,6 @@ func (s *Scheduler) rebuild(now simtime.Time) {
 	s.boundaryEv = s.h.Sim.PostAt(deadline, sim.Payload{Handler: s.id, Kind: evBoundary})
 }
 
-// newEntry takes a recycled layout entry from the pool, or allocates one.
-func (s *Scheduler) newEntry(v *hv.VCPU, remaining simtime.Duration, pcpu int) *entry {
-	if n := len(s.entryPool); n > 0 {
-		e := s.entryPool[n-1]
-		s.entryPool[n-1] = nil
-		s.entryPool = s.entryPool[:n-1]
-		e.v, e.remaining, e.pcpu = v, remaining, pcpu
-		return e
-	}
-	return &entry{v: v, remaining: remaining, pcpu: pcpu}
-}
-
 // allocFor computes v's exact fluid share of a slice (floor + carry),
 // scaled by the idle-tax factor when enabled.
 func (s *Scheduler) allocFor(v *hv.VCPU, slice simtime.Duration) simtime.Duration {
@@ -594,9 +606,9 @@ func (s *Scheduler) allocFor(v *hv.VCPU, slice simtime.Duration) simtime.Duratio
 	if f := s.factorOf(v); f < 1 {
 		budget = int64(f * float64(budget))
 	}
-	num := int64(slice)*budget + s.carry[v]
+	num := int64(slice)*budget + *grow(&s.carry, v.ID)
 	alloc := num / int64(v.Res.Period)
-	s.carry[v] = num % int64(v.Res.Period)
+	s.carry[v.ID] = num % int64(v.Res.Period)
 	// allocFor runs once per RT VCPU per rebuild, so this is the single
 	// place every slice-quota grant passes through.
 	if alloc > 0 && s.h.Tracing() {
@@ -621,12 +633,14 @@ func (s *Scheduler) wrapPlace(v *hv.VCPU, alloc, slice simtime.Duration, fill []
 		}
 		take := simtime.MinDur(alloc, room)
 		ps := s.pcpu[pi]
-		e := s.newEntry(v, take, pi)
 		if first {
-			ps.entries = append(ps.entries, e)
+			ps.entries = append(ps.entries, entry{v: v, remaining: take, pcpu: pi})
 			first = false
 		} else {
-			ps.entries = append([]*entry{e}, ps.entries...)
+			// Prepend by shifting in place so the backing array is reused.
+			ps.entries = append(ps.entries, entry{})
+			copy(ps.entries[1:], ps.entries)
+			ps.entries[0] = entry{v: v, remaining: take, pcpu: pi}
 		}
 		fill[pi] += take
 		alloc -= take
@@ -636,30 +650,30 @@ func (s *Scheduler) wrapPlace(v *hv.VCPU, alloc, slice simtime.Duration, fill []
 // chargeRun attributes elapsed wall time on a PCPU to the entry that was
 // running there.
 func (s *Scheduler) chargeRun(ps *pcpuState, now simtime.Time) {
-	if ps.lastEntry == nil {
+	if ps.lastEntry < 0 {
 		return
 	}
+	e := &ps.entries[ps.lastEntry]
 	elapsed := now.Sub(ps.lastAt)
 	if elapsed < 0 {
 		panic("dpwrap: time went backwards in chargeRun")
 	}
-	if elapsed >= ps.lastEntry.remaining {
-		if ps.lastEntry.remaining > 0 && s.h.Tracing() {
+	if elapsed >= e.remaining {
+		if e.remaining > 0 && s.h.Tracing() {
 			// Arg carries the overdraw: time charged beyond the entry's
 			// quota. Schedule grants at most the remaining quota, so any
 			// non-zero overdraw is an accounting bug (check.BudgetOracle).
-			e := ps.lastEntry
 			s.h.Emit(trace.Event{At: now, Kind: trace.Deplete, PCPU: e.pcpu,
 				VM: e.v.VM.Name, VCPU: e.v.Index, Arg: int64(elapsed - e.remaining)})
 		}
-		ps.lastEntry.remaining = 0
+		e.remaining = 0
 	} else {
-		ps.lastEntry.remaining -= elapsed
+		e.remaining -= elapsed
 	}
 	if s.cfg.IdleTax {
-		s.windowUse[ps.lastEntry.v] += elapsed
+		*grow(&s.windowUse, e.v.ID) += elapsed
 	}
-	ps.lastEntry = nil
+	ps.lastEntry = -1
 }
 
 // SliceBounds reports the current global slice [start, end). Every quota
@@ -742,8 +756,8 @@ func (s *Scheduler) VCPUIdle(v *hv.VCPU, now simtime.Time) {}
 
 // entryIndex reports the position of v's entry on a PCPU, or -1.
 func (s *Scheduler) entryIndex(ps *pcpuState, v *hv.VCPU) int {
-	if i, ok := ps.idx[v]; ok {
-		return i
+	if v.ID < len(ps.idx) {
+		return int(ps.idx[v.ID])
 	}
 	return -1
 }
@@ -762,9 +776,13 @@ func (s *Scheduler) shouldPreempt(ps *pcpuState, p *hv.PCPU, idx int) bool {
 	return curIdx > idx
 }
 
-// available reports whether an entry's VCPU could run on p right now.
-func available(e *entry, p *hv.PCPU) bool {
-	return e.v.Runnable() && e.remaining > 0 && (e.v.OnPCPU() == nil || e.v.OnPCPU() == p)
+// available reports whether an entry's VCPU could run on p right now. It
+// reads the host's hot array directly: the runnable flag and current-PCPU
+// index sit in one contiguous record per VCPU, so the per-entry check in
+// the Schedule scan touches no cold VCPU struct.
+func (s *Scheduler) available(e *entry, p *hv.PCPU) bool {
+	hs := &s.h.Hot()[e.v.ID]
+	return hs.Runnable && e.remaining > 0 && (hs.PCPU < 0 || hs.PCPU == int32(p.ID))
 }
 
 // Schedule implements hv.HostScheduler: serve this PCPU's quota entries
@@ -788,9 +806,9 @@ func (s *Scheduler) Schedule(p *hv.PCPU, now simtime.Time) hv.Decision {
 	work := 1 + ps.firstLive
 	horizon := s.sliceEnd.Sub(now)
 	for i := ps.firstLive; i < len(ps.entries); i++ {
-		e := ps.entries[i]
+		e := &ps.entries[i]
 		work++
-		if !available(e, p) {
+		if !s.available(e, p) {
 			continue
 		}
 		run := simtime.MinDur(e.remaining, horizon)
@@ -800,18 +818,18 @@ func (s *Scheduler) Schedule(p *hv.PCPU, now simtime.Time) hv.Decision {
 		if Trace {
 			fmt.Printf("[dpwrap] %v sched pcpu%d -> %v for %v (quota)\n", now, p.ID, e.v, run)
 		}
-		ps.lastEntry, ps.lastAt = e, now
+		ps.lastEntry, ps.lastAt = i, now
 		return hv.Decision{VCPU: e.v, RunFor: run, Work: work}
 	}
 	if bg := s.pickBackground(p, &work); bg != nil {
-		ps.lastEntry = nil
+		ps.lastEntry = -1
 		ps.lastAt = now
 		return hv.Decision{VCPU: bg, RunFor: horizon, Work: work}
 	}
 	if Trace {
 		fmt.Printf("[dpwrap] %v sched pcpu%d -> idle until %v\n", now, p.ID, s.sliceEnd)
 	}
-	ps.lastEntry = nil
+	ps.lastEntry = -1
 	ps.lastAt = now
 	return hv.Decision{VCPU: nil, RunFor: horizon, Work: work}
 }
@@ -870,11 +888,12 @@ func (s *Scheduler) rescueKick(now simtime.Time) {
 		} else {
 			curIdx = len(ps.entries)
 		}
-		for i, e := range ps.entries {
+		for i := range ps.entries {
 			if i >= curIdx {
 				break
 			}
-			if available(e, p) && e.v != cur {
+			e := &ps.entries[i]
+			if s.available(e, p) && e.v != cur {
 				s.h.Kick(p, now)
 				break
 			}
@@ -893,13 +912,15 @@ func (s *Scheduler) pickBackground(p *hv.PCPU, work *int) *hv.VCPU {
 		return nil
 	}
 	ps := s.pcpu[p.ID]
+	hot := s.h.Hot()
+	pid := int32(p.ID)
 	for i := 0; i < n; i++ {
 		v := s.vcpus[(ps.bgCursor+i)%n]
 		*work++
 		if s.cfg.NonWorkConserving && v.RT && v.Res.Budget > 0 {
 			continue // pure DP-WRAP: no leftover for reserved VCPUs
 		}
-		if v.Runnable() && (v.OnPCPU() == nil || v.OnPCPU() == p) {
+		if hs := &hot[v.ID]; hs.Runnable && (hs.PCPU < 0 || hs.PCPU == pid) {
 			ps.bgCursor = (ps.bgCursor + i + 1) % n
 			return v
 		}

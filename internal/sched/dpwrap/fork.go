@@ -9,10 +9,11 @@ import (
 )
 
 // ForkHandler implements sim.Handler: deep-copy the slice plan (per-PCPU
-// wrap entries with consumed quota), the carry remainders, the idle-tax
-// state, and the pending boundary/tax timers, remapping every VCPU through
-// ctx. The entry pool is not carried over — it is a pure allocation cache
-// and refills in the fork within a few slices.
+// wrap entries with consumed quota), the ID-indexed carry remainders and
+// idle-tax state, and the pending boundary/tax timers. With the hot state
+// in flat value slices, most of the fork is plain slice copies — only the
+// VCPU pointers inside entries and the admission-order list need remapping
+// through ctx.
 func (s *Scheduler) ForkHandler(ctx *clone.Ctx) sim.Handler {
 	if n, ok := ctx.Lookup(s); ok {
 		return n.(*Scheduler)
@@ -36,36 +37,21 @@ func (s *Scheduler) ForkHandler(ctx *clone.Ctx) sim.Handler {
 	for i, v := range s.vcpus {
 		ns.vcpus[i] = clone.Get(ctx, v)
 	}
-	ns.carry = make(map[*hv.VCPU]int64, len(s.carry))
-	for v, c := range s.carry {
-		ns.carry[clone.Get(ctx, v)] = c
-	}
-	ns.taxFactor = make(map[*hv.VCPU]float64, len(s.taxFactor))
-	for v, f := range s.taxFactor {
-		ns.taxFactor[clone.Get(ctx, v)] = f
-	}
-	ns.windowUse = make(map[*hv.VCPU]simtime.Duration, len(s.windowUse))
-	for v, u := range s.windowUse {
-		ns.windowUse[clone.Get(ctx, v)] = u
-	}
+	ns.carry = append([]int64(nil), s.carry...)
+	ns.taxFactor = append([]float64(nil), s.taxFactor...)
+	ns.windowUse = append([]simtime.Duration(nil), s.windowUse...)
 	ns.pcpu = make([]*pcpuState, len(s.pcpu))
 	for i, ps := range s.pcpu {
 		nps := &pcpuState{
-			idx:       make(map[*hv.VCPU]int, len(ps.idx)),
+			entries:   append([]entry(nil), ps.entries...),
+			idx:       append([]int32(nil), ps.idx...),
 			firstLive: ps.firstLive,
+			lastEntry: ps.lastEntry,
 			lastAt:    ps.lastAt,
 			bgCursor:  ps.bgCursor,
 		}
-		nps.entries = make([]*entry, len(ps.entries))
-		for j, e := range ps.entries {
-			ne := &entry{v: clone.Get(ctx, e.v), remaining: e.remaining, pcpu: e.pcpu}
-			nps.entries[j] = ne
-			if ps.lastEntry == e {
-				nps.lastEntry = ne
-			}
-		}
-		for v, j := range ps.idx {
-			nps.idx[clone.Get(ctx, v)] = j
+		for j := range nps.entries {
+			nps.entries[j].v = clone.Get(ctx, nps.entries[j].v)
 		}
 		ns.pcpu[i] = nps
 	}

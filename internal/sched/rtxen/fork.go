@@ -3,15 +3,14 @@ package rtxen
 import (
 	"rtvirt/internal/clone"
 	"rtvirt/internal/eventq"
-	"rtvirt/internal/hv"
 	"rtvirt/internal/sim"
 )
 
-// ForkHandler implements sim.Handler: deep-copy every deferrable-server
-// state (budget, deadline, pending replenishment timer, heap slot, charging
-// PCPU) onto the cloned VCPUs and rebuild the runqueue with remapped
-// pointers. heapIdx is carried verbatim, so the heap layout — and with it
-// the modeled scan ranks — is preserved exactly.
+// ForkHandler implements sim.Handler. The struct-of-arrays layout makes
+// this almost a value copy: the srv array is plain data apart from each
+// server's pending replenishment timer (remapped through ctx), and the
+// runqueue is an ID slice copied verbatim — heap layout, and with it the
+// modeled scan ranks, is preserved exactly.
 func (s *Scheduler) ForkHandler(ctx *clone.Ctx) sim.Handler {
 	if n, ok := ctx.Lookup(s); ok {
 		return n.(*Scheduler)
@@ -22,20 +21,12 @@ func (s *Scheduler) ForkHandler(ctx *clone.Ctx) sim.Handler {
 		id:       s.id,
 		bgCursor: s.bgCursor,
 		started:  s.started,
-		byID:     make(map[int32]*hv.VCPU, len(s.byID)),
 	}
 	ctx.Put(s, ns)
-	for id, v := range s.byID {
-		nv := clone.Get(ctx, v)
-		nst := &serverState{}
-		*nst = *state(v)
-		nst.replEv = eventq.CloneHandle(ctx, state(v).replEv)
-		nv.SchedData = nst
-		ns.byID[id] = nv
+	ns.srv = append([]serverState(nil), s.srv...)
+	for i := range ns.srv {
+		ns.srv[i].replEv = eventq.CloneHandle(ctx, s.srv[i].replEv)
 	}
-	ns.runq.v = make([]*hv.VCPU, len(s.runq.v))
-	for i, v := range s.runq.v {
-		ns.runq.v[i] = clone.Get(ctx, v)
-	}
+	ns.runq.v = append([]int32(nil), s.runq.v...)
 	return ns
 }

@@ -73,7 +73,10 @@ func PollingConfig() Config {
 	return Config{Quantum: simtime.Millis(1), AdmitGlobalEDF: true, Deferrable: false}
 }
 
-// serverState is the per-VCPU deferrable-server state.
+// serverState is the per-VCPU deferrable-server state. All servers live in
+// the Scheduler's flat srv array indexed by dense VCPU ID (struct-of-
+// arrays), so replenish and the pickEDF/rankOf traversals touch contiguous
+// memory instead of chasing a per-VCPU interface pointer.
 type serverState struct {
 	budget   simtime.Duration // remaining budget in the current period
 	deadline simtime.Time     // end of the current period = EDF priority
@@ -81,8 +84,11 @@ type serverState struct {
 	// heapIdx is the server's slot in the runqueue heap (-1 when removed).
 	heapIdx int32
 	// running tracks the PCPU charging this server, or -1.
-	runningOn int
-	lastAt    simtime.Time
+	runningOn int32
+	// active marks the slot as holding an admitted server; background
+	// VCPUs and vacated IDs stay inactive.
+	active bool
+	lastAt simtime.Time
 }
 
 // Scheduler is the RT-Xen gEDF + deferrable-server host scheduler.
@@ -91,22 +97,23 @@ type Scheduler struct {
 	h   *hv.Host
 	id  int32 // typed-event handler ID
 
-	// byID resolves replenishment events (addressed by VCPU ID) back to
-	// their server; entries exist for exactly the queued servers.
-	byID map[int32]*hv.VCPU
+	// srv holds every server's hot state, indexed by VCPU ID; srv[id] is
+	// live iff .active. The host's id-arena (Host.ByID) resolves IDs back
+	// to VCPUs for the cold fields (Res, VM identity).
+	srv []serverState
 
-	// runq is the global runqueue as an indexed heap on (deadline, VCPU
-	// ID); see runq.go. Decision.Work still reports the sorted-list scan
-	// count the published scheduler pays (what Table 6's schedule-time
-	// column measures for RT-Xen) — the heap only makes the simulator's own
-	// bookkeeping cheaper.
+	// runq is the global runqueue as an indexed heap of VCPU IDs keyed by
+	// (deadline, ID); see runq.go. Decision.Work still reports the
+	// sorted-list scan count the published scheduler pays (what Table 6's
+	// schedule-time column measures for RT-Xen) — the heap only makes the
+	// simulator's own bookkeeping cheaper.
 	runq runq
 
 	// scratch is reused wherever a stable (deadline, ID)-ordered copy of
 	// the runqueue membership is needed: Start iterates it while
 	// armReplenish re-keys the heap, and admission sums bandwidth in the
 	// exact float order the seed's sorted list produced.
-	scratch []*hv.VCPU
+	scratch []int32
 
 	bgCursor int
 	started  bool
@@ -117,7 +124,7 @@ func New(cfg Config) *Scheduler {
 	if cfg.Quantum <= 0 {
 		cfg.Quantum = simtime.Millis(1)
 	}
-	return &Scheduler{cfg: cfg, byID: map[int32]*hv.VCPU{}}
+	return &Scheduler{cfg: cfg}
 }
 
 // Name implements hv.HostScheduler.
@@ -134,7 +141,7 @@ func (s *Scheduler) HandleSimEvent(now simtime.Time, ev sim.Payload) {
 	switch ev.Kind {
 	case evReplenish:
 		// The server must still exist: RemoveVCPU cancels its timer.
-		s.replenish(s.byID[ev.Owner], now)
+		s.replenish(s.h.ByID(int(ev.Owner)), now)
 	default:
 		panic(fmt.Sprintf("rtxen: unknown event kind %d", ev.Kind))
 	}
@@ -147,20 +154,26 @@ func (s *Scheduler) Start(now simtime.Time) {
 	// we iterate) and walk it in (deadline, ID) order so the replenishment
 	// events are installed in the same sequence the seed's sorted runqueue
 	// produced — same-instant event FIFO order is part of determinism.
-	for _, v := range s.sortedMembers() {
-		s.armReplenish(v, now)
+	for _, id := range s.sortedMembers() {
+		s.armReplenish(s.h.ByID(int(id)), now)
 	}
 }
 
 // sortedMembers snapshots the runqueue into scratch in (deadline, ID)
 // order — the iteration order of the seed's sorted-list runqueue.
-func (s *Scheduler) sortedMembers() []*hv.VCPU {
+func (s *Scheduler) sortedMembers() []int32 {
 	s.scratch = append(s.scratch[:0], s.runq.v...)
-	sort.Slice(s.scratch, func(i, j int) bool { return rqLess(s.scratch[i], s.scratch[j]) })
+	sort.Slice(s.scratch, func(i, j int) bool { return s.rqLess(s.scratch[i], s.scratch[j]) })
 	return s.scratch
 }
 
-func state(v *hv.VCPU) *serverState { return v.SchedData.(*serverState) }
+// isServer reports whether v has an active server slot.
+func (s *Scheduler) isServer(v *hv.VCPU) bool {
+	return v.ID < len(s.srv) && s.srv[v.ID].active
+}
+
+// state returns v's server slot; the caller has established it is active.
+func (s *Scheduler) state(v *hv.VCPU) *serverState { return &s.srv[v.ID] }
 
 // AdmitVCPU implements hv.HostScheduler.
 func (s *Scheduler) AdmitVCPU(v *hv.VCPU) error {
@@ -174,16 +187,18 @@ func (s *Scheduler) AdmitVCPU(v *hv.VCPU) error {
 			// sorted runqueue summed in.
 			sum := v.Res.Bandwidth()
 			for _, x := range s.sortedMembers() {
-				sum += x.Res.Bandwidth()
+				sum += s.h.ByID(int(x)).Res.Bandwidth()
 			}
 			if sum > float64(s.h.NumPCPUs())+1e-9 {
 				return fmt.Errorf("rtxen: %w: utilization %0.3f exceeds %d CPUs",
 					hv.ErrAdmission, sum, s.h.NumPCPUs())
 			}
 		}
-		v.SchedData = &serverState{budget: v.Res.Budget, runningOn: -1, heapIdx: -1}
-		s.runq.Push(v)
-		s.byID[int32(v.ID)] = v
+		for len(s.srv) <= v.ID {
+			s.srv = append(s.srv, serverState{})
+		}
+		s.srv[v.ID] = serverState{budget: v.Res.Budget, runningOn: -1, heapIdx: -1, active: true}
+		s.runq.Push(s.srv, int32(v.ID))
 		if s.started {
 			s.armReplenish(v, s.h.Sim.Now())
 		}
@@ -193,14 +208,14 @@ func (s *Scheduler) AdmitVCPU(v *hv.VCPU) error {
 
 // RemoveVCPU implements hv.HostScheduler.
 func (s *Scheduler) RemoveVCPU(v *hv.VCPU, now simtime.Time) {
-	if st, ok := v.SchedData.(*serverState); ok {
+	if s.isServer(v) {
+		st := s.state(v)
 		if st.heapIdx >= 0 {
-			s.runq.Remove(v)
+			s.runq.Remove(s.srv, int32(v.ID))
 		}
 		s.h.Sim.Cancel(st.replEv)
-		delete(s.byID, int32(v.ID))
+		s.srv[v.ID] = serverState{}
 	}
-	v.SchedData = nil
 }
 
 // UpdateVCPU implements hv.HostScheduler: RT-Xen has no online interface
@@ -211,30 +226,32 @@ func (s *Scheduler) UpdateVCPU(v *hv.VCPU, res hv.Reservation, now simtime.Time)
 		return fmt.Errorf("rtxen: %w: invalid server %v", hv.ErrAdmission, res)
 	}
 	v.Res = res
-	if st, ok := v.SchedData.(*serverState); ok && st.budget > res.Budget {
-		st.budget = res.Budget
+	if s.isServer(v) {
+		if st := s.state(v); st.budget > res.Budget {
+			st.budget = res.Budget
+		}
 	}
 	return nil
 }
 
 // armReplenish starts the server's periodic budget replenishment.
 func (s *Scheduler) armReplenish(v *hv.VCPU, now simtime.Time) {
-	st := state(v)
+	st := s.state(v)
 	st.deadline = now.Add(v.Res.Period)
-	s.runq.Fix(v)
+	s.runq.Fix(s.srv, int32(v.ID))
 	st.replEv = s.h.Sim.PostAt(st.deadline, sim.Payload{Handler: s.id, Kind: evReplenish, Owner: int32(v.ID)})
 }
 
 func (s *Scheduler) replenish(v *hv.VCPU, now simtime.Time) {
-	st := state(v)
 	s.chargeIfRunning(v, now)
+	st := s.state(v)
 	st.budget = v.Res.Budget
 	st.deadline = now.Add(v.Res.Period)
 	if s.h.Tracing() {
 		s.h.Emit(trace.Event{At: now, Kind: trace.Replenish, PCPU: -1,
 			VM: v.VM.Name, VCPU: v.Index, Arg: int64(v.Res.Budget)})
 	}
-	s.runq.Fix(v)
+	s.runq.Fix(s.srv, int32(v.ID))
 	st.replEv = s.h.Sim.PostAt(st.deadline, sim.Payload{Handler: s.id, Kind: evReplenish, Owner: int32(v.ID)})
 	// A replenished server may now outrank a running one.
 	s.preemptCheck(v, now)
@@ -242,7 +259,7 @@ func (s *Scheduler) replenish(v *hv.VCPU, now simtime.Time) {
 
 // chargeIfRunning deducts consumed budget for a currently-running server.
 func (s *Scheduler) chargeIfRunning(v *hv.VCPU, now simtime.Time) {
-	st := state(v)
+	st := s.state(v)
 	if st.runningOn < 0 {
 		return
 	}
@@ -252,7 +269,7 @@ func (s *Scheduler) chargeIfRunning(v *hv.VCPU, now simtime.Time) {
 			// Arg carries the overdraw: time charged beyond the remaining
 			// budget. The kernel's allocations never exceed the budget, so
 			// anything non-zero is an accounting bug (check.BudgetOracle).
-			s.h.Emit(trace.Event{At: now, Kind: trace.Deplete, PCPU: st.runningOn,
+			s.h.Emit(trace.Event{At: now, Kind: trace.Deplete, PCPU: int(st.runningOn),
 				VM: v.VM.Name, VCPU: v.Index, Arg: int64(elapsed - st.budget)})
 		}
 		st.budget = 0
@@ -268,8 +285,10 @@ func (s *Scheduler) preemptCheck(v *hv.VCPU, now simtime.Time) {
 	if !s.started {
 		return
 	}
-	st := state(v)
-	if !v.Runnable() || st.budget <= 0 || v.OnPCPU() != nil {
+	st := s.state(v)
+	hot := s.h.Hot()
+	hs := hot[v.ID]
+	if !hs.Runnable || st.budget <= 0 || hs.PCPU >= 0 {
 		return
 	}
 	// Find the PCPU with the latest-deadline current occupant (or idle).
@@ -281,14 +300,13 @@ func (s *Scheduler) preemptCheck(v *hv.VCPU, now simtime.Time) {
 			target = p
 			break
 		}
-		cs, ok := cur.SchedData.(*serverState)
-		if !ok {
+		if !s.isServer(cur) {
 			// Background occupant always yields.
 			target = p
 			break
 		}
-		if cs.deadline > worst {
-			worst = cs.deadline
+		if d := s.srv[cur.ID].deadline; d > worst {
+			worst = d
 			target = p
 		}
 	}
@@ -296,7 +314,7 @@ func (s *Scheduler) preemptCheck(v *hv.VCPU, now simtime.Time) {
 		return
 	}
 	if cur := target.Current(); cur != nil {
-		if cs, ok := cur.SchedData.(*serverState); ok && cs.deadline <= st.deadline {
+		if s.isServer(cur) && s.srv[cur.ID].deadline <= st.deadline {
 			return // no PCPU runs lower-priority work
 		}
 	}
@@ -305,7 +323,7 @@ func (s *Scheduler) preemptCheck(v *hv.VCPU, now simtime.Time) {
 
 // VCPUWake implements hv.HostScheduler.
 func (s *Scheduler) VCPUWake(v *hv.VCPU, now simtime.Time) {
-	if _, ok := v.SchedData.(*serverState); ok {
+	if s.isServer(v) {
 		s.preemptCheck(v, now)
 		return
 	}
@@ -323,9 +341,9 @@ func (s *Scheduler) VCPUWake(v *hv.VCPU, now simtime.Time) {
 // replenishment. The charge is settled here because the kernel
 // undispatches the VCPU before the next Schedule call.
 func (s *Scheduler) VCPUIdle(v *hv.VCPU, now simtime.Time) {
-	if _, ok := v.SchedData.(*serverState); ok {
+	if s.isServer(v) {
 		s.chargeIfRunning(v, now)
-		st := state(v)
+		st := s.state(v)
 		st.runningOn = -1
 		if !s.cfg.Deferrable {
 			st.budget = 0
@@ -338,16 +356,16 @@ func (s *Scheduler) VCPUIdle(v *hv.VCPU, now simtime.Time) {
 func (s *Scheduler) Schedule(p *hv.PCPU, now simtime.Time) hv.Decision {
 	// Settle the charge of whatever this PCPU was running.
 	if cur := p.Current(); cur != nil {
-		if _, ok := cur.SchedData.(*serverState); ok {
+		if s.isServer(cur) {
 			s.chargeIfRunning(cur, now)
-			state(cur).runningOn = -1
+			s.state(cur).runningOn = -1
 		}
 	}
-	if v := s.runq.pickEDF(p); v != nil {
-		st := state(v)
+	if id := s.runq.pickEDF(s.srv, s.h.Hot(), int32(p.ID)); id >= 0 {
+		st := &s.srv[id]
 		// Work models the published sorted-queue scan: every member ranked
 		// ahead of the pick would have been examined.
-		work := s.runq.rankOf(v)
+		work := s.runq.rankOf(s.srv, id)
 		run := simtime.MinDur(st.budget, s.cfg.Quantum)
 		if s.cfg.EventDriven {
 			// Event-driven: run until budget exhaustion or the next
@@ -357,9 +375,9 @@ func (s *Scheduler) Schedule(p *hv.PCPU, now simtime.Time) hv.Decision {
 				run = st.budget
 			}
 		}
-		st.runningOn = p.ID
+		st.runningOn = int32(p.ID)
 		st.lastAt = now
-		return hv.Decision{VCPU: v, RunFor: run, Work: work}
+		return hv.Decision{VCPU: s.h.ByID(int(id)), RunFor: run, Work: work}
 	}
 	// No eligible server: the modeled scan examined the whole queue.
 	work := s.runq.Len()
@@ -380,10 +398,10 @@ func (s *Scheduler) Schedule(p *hv.PCPU, now simtime.Time) hv.Decision {
 // current EDF deadline. ok is false for background (non-server) VCPUs.
 // Read-only; used by the invariant oracles in internal/check.
 func (s *Scheduler) ServerState(v *hv.VCPU, now simtime.Time) (budget simtime.Duration, deadline simtime.Time, ok bool) {
-	st, isServer := v.SchedData.(*serverState)
-	if !isServer {
+	if !s.isServer(v) {
 		return 0, 0, false
 	}
+	st := s.state(v)
 	b := st.budget
 	if st.runningOn >= 0 {
 		if e := now.Sub(st.lastAt); e >= b {
@@ -398,8 +416,8 @@ func (s *Scheduler) ServerState(v *hv.VCPU, now simtime.Time) (budget simtime.Du
 // AdmittedBandwidth sums the bandwidth of every admitted server.
 func (s *Scheduler) AdmittedBandwidth() float64 {
 	sum := 0.0
-	for _, v := range s.runq.v {
-		sum += v.Res.Bandwidth()
+	for _, id := range s.runq.v {
+		sum += s.h.ByID(int(id)).Res.Bandwidth()
 	}
 	return sum
 }
@@ -413,13 +431,14 @@ func (s *Scheduler) pickBackground(p *hv.PCPU, work *int) *hv.VCPU {
 	if n == 0 {
 		return nil
 	}
+	hot := s.h.Hot()
 	for i := 0; i < n; i++ {
 		v := all[(s.bgCursor+i)%n]
 		*work++
-		if _, isRT := v.SchedData.(*serverState); isRT {
+		if s.isServer(v) {
 			continue
 		}
-		if v.Runnable() && (v.OnPCPU() == nil || v.OnPCPU() == p) {
+		if hs := hot[v.ID]; hs.Runnable && (hs.PCPU < 0 || hs.PCPU == int32(p.ID)) {
 			s.bgCursor = (s.bgCursor + i + 1) % n
 			return v
 		}

@@ -228,7 +228,8 @@ func TestUpdateVCPUClampsBudget(t *testing.T) {
 	if v.Res != res(2, 10) {
 		t.Fatalf("reservation = %v", v.Res)
 	}
-	if st := state(v); st.budget > ms(2) {
+	sched := h.Scheduler().(*Scheduler)
+	if st := sched.state(v); st.budget > ms(2) {
 		t.Fatalf("budget %v not clamped to new reservation", st.budget)
 	}
 }

@@ -2,11 +2,14 @@ package rtxen
 
 import "rtvirt/internal/hv"
 
-// runq is the global runqueue as an indexed 4-ary min-heap keyed by
-// (deadline, VCPU ID): every admitted RT VCPU with budget appears here
+// runq is the global runqueue as an indexed 4-ary min-heap of VCPU IDs
+// keyed by (deadline, ID): every admitted RT VCPU with budget appears here
 // whether runnable or not, and each serverState carries its own heap
 // index, so a replenishment moves its server with one O(log n) sift
-// instead of the seed's O(n) remove + O(n) sorted re-insert.
+// instead of the seed's O(n) remove + O(n) sorted re-insert. Holding IDs
+// instead of *hv.VCPU keeps the traversals inside two flat arrays (the
+// heap and the Scheduler's srv array): the comparisons pickEDF and rankOf
+// perform never leave contiguous memory.
 //
 // RT-Xen as published keeps this queue as a sorted list and pays a linear
 // scan per decision — that cost is what Table 6's schedule-time column
@@ -15,8 +18,12 @@ import "rtvirt/internal/hv"
 // pruned heap traversals that visit only the members an in-order scan
 // would have examined: Decision.Work stays the 1-based rank of the chosen
 // server in (deadline, ID) order, bit-identical to the seed's scan count.
+//
+// Methods take the srv slice (and, for pickEDF, the host's hot array) as a
+// parameter rather than a back-pointer so the slice header is always the
+// caller's current one.
 type runq struct {
-	v []*hv.VCPU
+	v []int32
 	// stack is the reusable traversal worklist for pickEDF/rankOf.
 	stack []int32
 }
@@ -25,69 +32,76 @@ const rqArity = 4
 
 // rqLess orders servers by (deadline, ID); IDs are unique, so the order is
 // total.
-func rqLess(a, b *hv.VCPU) bool {
-	da, db := state(a).deadline, state(b).deadline
+func (s *Scheduler) rqLess(a, b int32) bool {
+	da, db := s.srv[a].deadline, s.srv[b].deadline
 	if da != db {
 		return da < db
 	}
-	return a.ID < b.ID
+	return a < b
+}
+
+func rqLess(srv []serverState, a, b int32) bool {
+	da, db := srv[a].deadline, srv[b].deadline
+	if da != db {
+		return da < db
+	}
+	return a < b
 }
 
 // Len reports the number of queued servers.
 func (r *runq) Len() int { return len(r.v) }
 
-// Push inserts v.
-func (r *runq) Push(v *hv.VCPU) {
-	r.v = append(r.v, v)
-	state(v).heapIdx = int32(len(r.v) - 1)
-	r.siftUp(len(r.v) - 1)
+// Push inserts id.
+func (r *runq) Push(srv []serverState, id int32) {
+	r.v = append(r.v, id)
+	srv[id].heapIdx = int32(len(r.v) - 1)
+	r.siftUp(srv, len(r.v)-1)
 }
 
-// Remove deletes v, which must be queued.
-func (r *runq) Remove(v *hv.VCPU) {
-	i := int(state(v).heapIdx)
+// Remove deletes id, which must be queued.
+func (r *runq) Remove(srv []serverState, id int32) {
+	i := int(srv[id].heapIdx)
 	n := len(r.v) - 1
 	last := r.v[n]
-	r.v[n] = nil
 	r.v = r.v[:n]
-	state(v).heapIdx = -1
+	srv[id].heapIdx = -1
 	if i == n {
 		return
 	}
 	r.v[i] = last
-	state(last).heapIdx = int32(i)
-	r.siftUp(i)
-	if int(state(last).heapIdx) == i {
-		r.siftDown(i)
+	srv[last].heapIdx = int32(i)
+	r.siftUp(srv, i)
+	if int(srv[last].heapIdx) == i {
+		r.siftDown(srv, i)
 	}
 }
 
-// Fix restores heap order after v's deadline changed.
-func (r *runq) Fix(v *hv.VCPU) {
-	i := int(state(v).heapIdx)
-	r.siftUp(i)
-	if int(state(v).heapIdx) == i {
-		r.siftDown(i)
+// Fix restores heap order after id's deadline changed.
+func (r *runq) Fix(srv []serverState, id int32) {
+	i := int(srv[id].heapIdx)
+	r.siftUp(srv, i)
+	if int(srv[id].heapIdx) == i {
+		r.siftDown(srv, i)
 	}
 }
 
-func (r *runq) siftUp(i int) {
+func (r *runq) siftUp(srv []serverState, i int) {
 	e := r.v[i]
 	for i > 0 {
 		p := (i - 1) / rqArity
 		pe := r.v[p]
-		if !rqLess(e, pe) {
+		if !rqLess(srv, e, pe) {
 			break
 		}
 		r.v[i] = pe
-		state(pe).heapIdx = int32(i)
+		srv[pe].heapIdx = int32(i)
 		i = p
 	}
 	r.v[i] = e
-	state(e).heapIdx = int32(i)
+	srv[e].heapIdx = int32(i)
 }
 
-func (r *runq) siftDown(i int) {
+func (r *runq) siftDown(srv []serverState, i int) {
 	e := r.v[i]
 	n := len(r.v)
 	for {
@@ -102,44 +116,45 @@ func (r *runq) siftDown(i int) {
 		m := c
 		mc := r.v[c]
 		for j := c + 1; j < end; j++ {
-			if rqLess(r.v[j], mc) {
+			if rqLess(srv, r.v[j], mc) {
 				m, mc = j, r.v[j]
 			}
 		}
-		if !rqLess(mc, e) {
+		if !rqLess(srv, mc, e) {
 			break
 		}
 		r.v[i] = mc
-		state(mc).heapIdx = int32(i)
+		srv[mc].heapIdx = int32(i)
 		i = m
 	}
 	r.v[i] = e
-	state(e).heapIdx = int32(i)
+	srv[e].heapIdx = int32(i)
 }
 
 // pickEDF returns the earliest-deadline server that is runnable, has
 // budget, and is not dispatched on another PCPU — the server the published
-// scheduler's in-order scan would pick. The traversal descends only into
-// subtrees that can still beat the best candidate found so far (heap order
-// guarantees every descendant ranks after its parent), so its cost is
-// O(rank) like the modeled scan, not O(n log n).
-func (r *runq) pickEDF(p *hv.PCPU) *hv.VCPU {
+// scheduler's in-order scan would pick — or -1. The traversal descends only
+// into subtrees that can still beat the best candidate found so far (heap
+// order guarantees every descendant ranks after its parent), so its cost is
+// O(rank) like the modeled scan, not O(n log n). Eligibility reads the
+// host's flat hot array, never the VCPU structs.
+func (r *runq) pickEDF(srv []serverState, hot []hv.VCPUHot, p int32) int32 {
 	if len(r.v) == 0 {
-		return nil
+		return -1
 	}
-	var best *hv.VCPU
+	best := int32(-1)
 	r.stack = append(r.stack[:0], 0)
 	for len(r.stack) > 0 {
 		i := r.stack[len(r.stack)-1]
 		r.stack = r.stack[:len(r.stack)-1]
-		v := r.v[i]
-		if best != nil && !rqLess(v, best) {
+		id := r.v[i]
+		if best >= 0 && !rqLess(srv, id, best) {
 			continue // whole subtree ranks at or after best
 		}
-		st := state(v)
-		if st.budget > 0 && v.Runnable() && (v.OnPCPU() == nil || v.OnPCPU() == p) {
-			// Eligible: children all rank after v, so none can improve.
-			best = v
+		hs := hot[id]
+		if srv[id].budget > 0 && hs.Runnable && (hs.PCPU < 0 || hs.PCPU == p) {
+			// Eligible: children all rank after id, so none can improve.
+			best = id
 			continue
 		}
 		for c := rqArity*int(i) + 1; c <= rqArity*int(i)+rqArity && c < len(r.v); c++ {
@@ -149,18 +164,18 @@ func (r *runq) pickEDF(p *hv.PCPU) *hv.VCPU {
 	return best
 }
 
-// rankOf reports v's 1-based position in (deadline, ID) order: the number
-// of queue members the sorted-list scan examines up to and including v.
+// rankOf reports id's 1-based position in (deadline, ID) order: the number
+// of queue members the sorted-list scan examines up to and including it.
 // This is the honest entity count for the overhead model — the published
 // algorithm touches exactly these members per decision, whatever data
 // structure the simulator uses underneath.
-func (r *runq) rankOf(v *hv.VCPU) int {
+func (r *runq) rankOf(srv []serverState, id int32) int {
 	rank := 1
 	r.stack = append(r.stack[:0], 0)
 	for len(r.stack) > 0 {
 		i := r.stack[len(r.stack)-1]
 		r.stack = r.stack[:len(r.stack)-1]
-		if !rqLess(r.v[i], v) {
+		if !rqLess(srv, r.v[i], id) {
 			continue
 		}
 		rank++

@@ -9,6 +9,7 @@ package sim
 
 import (
 	"fmt"
+	"os"
 
 	"rtvirt/internal/eventq"
 	"rtvirt/internal/simtime"
@@ -24,13 +25,42 @@ type Simulator struct {
 	handlers []Handler
 }
 
+// DefaultBackend is the event-queue backend New uses. It initializes from
+// the RTVIRT_EVENTQ environment variable ("heap" or "wheel", default heap)
+// so a whole test run can be pointed at either backend without touching
+// call sites; harnesses that sweep both backends (internal/check/quick,
+// the golden tests) set it — or call NewWithBackend — per run.
+var DefaultBackend = backendFromEnv()
+
+func backendFromEnv() eventq.Backend {
+	switch os.Getenv("RTVIRT_EVENTQ") {
+	case "wheel":
+		return eventq.BackendWheel
+	case "", "heap":
+		return eventq.BackendHeap
+	default:
+		panic(fmt.Sprintf("sim: unknown RTVIRT_EVENTQ value %q (want heap or wheel)", os.Getenv("RTVIRT_EVENTQ")))
+	}
+}
+
 // New returns a Simulator whose clock starts at 0 and whose random source
-// is seeded with seed (same seed ⇒ identical run).
+// is seeded with seed (same seed ⇒ identical run). The event queue uses
+// DefaultBackend; runs are bit-identical across backends either way.
 func New(seed uint64) *Simulator {
+	return NewWithBackend(seed, DefaultBackend)
+}
+
+// NewWithBackend returns a Simulator with an explicitly pinned event-queue
+// backend, for harnesses that must cover both.
+func NewWithBackend(seed uint64, b eventq.Backend) *Simulator {
 	s := &Simulator{rng: NewRNG(seed)}
+	s.q.SetBackend(b)
 	s.q.Dispatch = s.dispatch
 	return s
 }
+
+// Backend reports which event-queue backend this simulator runs on.
+func (s *Simulator) Backend() eventq.Backend { return s.q.Backend() }
 
 // Now reports the current simulated time.
 func (s *Simulator) Now() simtime.Time { return s.now }
