@@ -45,6 +45,9 @@ func main() {
 		benchOut   = flag.String("bench-out", "BENCH_5.json", "output path for the -kernel comparison report")
 		forkWarmup = flag.Bool("fork-warmup", false, "benchmark the fig5 warm-start fork sweep against its cold control and exit")
 		forkOut    = flag.String("fork-out", "BENCH_4.json", "output path for the -fork-warmup comparison report")
+		pdes       = flag.Bool("pdes", false, "benchmark the sharded conservative-PDES cluster (executor groups 1/2/4/8, digest identity enforced) and exit")
+		pdesOut    = flag.String("pdes-out", "BENCH_6.json", "output path for the -pdes scaling report")
+		pdesHosts  = flag.Int("pdes-hosts", 64, "hosts (= shards) for the -pdes sweep")
 	)
 	flag.Parse()
 	runner.SetDefault(*parallel)
@@ -56,6 +59,13 @@ func main() {
 	if *forkWarmup {
 		runner.SetDefault(1) // sequential: the delta measures the fork, not the pool
 		runForkWarmup(*forkOut)
+		return
+	}
+	if *pdes {
+		// The sharded run brings its own executor pool; the group count
+		// under test is the only parallelism knob.
+		runner.SetDefault(1)
+		runPDES(*pdesOut, *pdesHosts, *seconds)
 		return
 	}
 	if *outDir != "" {

@@ -10,7 +10,8 @@
 //	  "seconds": 30,
 //	  "seed": 1,
 //	  "costs": {"context_switch_us": 2, "migration_us": 3,    // platform cost model
-//	            "hypercall_us": 10},                          // (omitted fields keep §4.5 defaults)
+//	            "hypercall_us": 10,                           // (omitted fields keep §4.5 defaults)
+//	            "network_delay_us": 19},                      // client→server latency, must be > 0
 //	  "vms": [
 //	    {
 //	      "name": "rt-vm",

@@ -43,6 +43,13 @@ type Config struct {
 	Backends []eventq.Backend
 	// SkipFork disables the mid-run fork bit-identity probe.
 	SkipFork bool
+	// Shards is the executor-group axis of the sharded-PDES identity
+	// oracle: each scenario is replicated onto a small sharded cluster and
+	// run once per group count, and every digest must match the first
+	// entry's (default DefaultShards = 1, 2, 4). A single entry disables
+	// the comparison; so does SkipPDES.
+	Shards   []int
+	SkipPDES bool
 	// MaxShrinkRuns caps the simulations the shrinker may spend per
 	// failure (default 200).
 	MaxShrinkRuns int
@@ -73,6 +80,7 @@ type Report struct {
 	Cases    int
 	Runs     int
 	Backends int // event-queue backends each (case, stack) pair ran under
+	PDES     int // executor group counts the sharded identity oracle compared (0 = off)
 	Skipped  int // builds rejected by admission control
 	Failures []Failure
 }
@@ -113,6 +121,9 @@ func Run(cfg Config) *Report {
 	if cfg.MaxShrinkRuns <= 0 {
 		cfg.MaxShrinkRuns = 200
 	}
+	if len(cfg.Shards) == 0 {
+		cfg.Shards = DefaultShards
+	}
 	if len(cfg.Backends) == 0 {
 		if os.Getenv("RTVIRT_EVENTQ") != "" {
 			// A globally pinned backend wins: CI's wheel pass sets the env
@@ -123,6 +134,9 @@ func Run(cfg Config) *Report {
 		}
 	}
 	rep := &Report{Seed: cfg.Seed, Cases: cfg.N, Backends: len(cfg.Backends)}
+	if !cfg.SkipPDES && len(cfg.Shards) >= 2 {
+		rep.PDES = len(cfg.Shards)
+	}
 	for i := 0; i < cfg.N; i++ {
 		caseSeed := splitmix64(cfg.Seed, uint64(i))
 		sc := Generate(rand.New(rand.NewSource(int64(caseSeed))))
@@ -160,6 +174,32 @@ func Run(cfg Config) *Report {
 				}
 				restore()
 				rep.Failures = append(rep.Failures, f)
+			}
+		}
+		if cfg.SkipPDES || len(cfg.Shards) < 2 {
+			continue
+		}
+		// The sharded-PDES identity oracle, once per backend. It is
+		// stack-independent (the replica runs under the sharded default
+		// stack), so it sits outside the stacks loop.
+		for _, bk := range cfg.Backends {
+			rep.Runs++
+			restore := pinBackend(bk)
+			v, err := pdesIdentity(sc, caseSeed, cfg.Shards)
+			restore()
+			if err != nil {
+				rep.Skipped++
+				continue
+			}
+			if v != nil {
+				rep.Failures = append(rep.Failures, Failure{
+					Case:       i,
+					Stack:      "pdes",
+					Backend:    bk.String(),
+					Seed:       caseSeed,
+					Violations: []check.Violation{*v},
+					Scenario:   sc,
+				})
 			}
 		}
 	}

@@ -50,7 +50,9 @@ func TestGenerateAlwaysValid(t *testing.T) {
 func TestQuickPropertyBounded(t *testing.T) {
 	rep := Run(Config{Seed: 1, N: 6, Backends: AllBackends})
 	reportFailures(t, rep)
-	if want := rep.Cases * len(AllStacks) * len(AllBackends); rep.Runs != want {
+	// All four stacks plus the sharded-PDES identity probe, per backend.
+	want := rep.Cases*len(AllStacks)*len(AllBackends) + rep.Cases*len(AllBackends)
+	if rep.Runs != want {
 		t.Fatalf("expected %d runs, got %d", want, rep.Runs)
 	}
 }

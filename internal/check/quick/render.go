@@ -14,13 +14,20 @@ func (r *Report) Render() string {
 	if backends <= 0 {
 		backends = 1
 	}
+	pdesRuns := 0
+	if r.PDES > 1 {
+		pdesRuns = r.Cases * backends
+	}
 	stacks := r.Runs
 	if r.Cases > 0 {
-		stacks = r.Runs / (r.Cases * backends)
+		stacks = (r.Runs - pdesRuns) / (r.Cases * backends)
 	}
 	fmt.Fprintf(&b, "quickcheck: %d cases x %d stacks", r.Cases, stacks)
 	if backends > 1 {
 		fmt.Fprintf(&b, " x %d queue backends", backends)
+	}
+	if r.PDES > 1 {
+		fmt.Fprintf(&b, " + pdes identity x %d group counts", r.PDES)
 	}
 	fmt.Fprintf(&b, " (seed %d)\n", r.Seed)
 	fmt.Fprintf(&b, "runs %d, skipped %d (admission-rejected builds), failures %d\n",

@@ -1,0 +1,42 @@
+package eventq
+
+import "testing"
+
+func TestParseBackend(t *testing.T) {
+	cases := []struct {
+		name string
+		want Backend
+		err  bool
+	}{
+		{"", BackendHeap, false},
+		{"heap", BackendHeap, false},
+		{"wheel", BackendWheel, false},
+		{"Heap", 0, true}, // names are case-sensitive, like the env var always was
+		{"whee", 0, true},
+		{"btree", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseBackend(c.name)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseBackend(%q): want error, got %v", c.name, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseBackend(%q): unexpected error %v", c.name, err)
+		} else if got != c.want {
+			t.Errorf("ParseBackend(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestParseBackendErrorNamesTheValue(t *testing.T) {
+	_, err := ParseBackend("btree")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := err.Error(); got != `eventq: unknown backend "btree" (want heap or wheel)` {
+		t.Fatalf("unhelpful error message: %s", got)
+	}
+}

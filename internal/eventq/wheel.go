@@ -67,6 +67,21 @@ func (b Backend) String() string {
 	}
 }
 
+// ParseBackend resolves a backend name. The empty string selects the
+// default (heap); any other unknown name is an error — callers that read
+// the name from an environment variable or a config file must surface it
+// rather than silently falling back.
+func ParseBackend(name string) (Backend, error) {
+	switch name {
+	case "", "heap":
+		return BackendHeap, nil
+	case "wheel":
+		return BackendWheel, nil
+	default:
+		return BackendHeap, fmt.Errorf("eventq: unknown backend %q (want heap or wheel)", name)
+	}
+}
+
 // Wheel geometry. 2^10 ns ticks keep sub-µs events (same-instant bursts,
 // deferred same-tick kicks) in one run batch; 4 levels of 64 slots cover
 // ~17.6 s — longer than any standing timer the kernel arms — before the

@@ -1,0 +1,101 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool is a fixed set of persistent workers for repeated barrier-
+// synchronized fan-outs — the coordinator primitive under the sharded
+// (PDES) simulation's conservative window loop. Unlike Run/Map, which
+// spawn fresh goroutines per call, a Pool parks its workers between
+// rounds, so a caller can issue hundreds of thousands of small rounds
+// (one per lookahead window) without per-round spawn cost.
+type Pool struct {
+	work []chan func(int)
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	panics []poolPanic
+}
+
+type poolPanic struct {
+	worker int
+	value  any
+}
+
+// NewPool starts n parked workers. Close releases them.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{work: make([]chan func(int), n)}
+	for w := range p.work {
+		ch := make(chan func(int))
+		p.work[w] = ch
+		go p.worker(w, ch)
+	}
+	return p
+}
+
+func (p *Pool) worker(w int, ch chan func(int)) {
+	for fn := range ch {
+		p.runOne(w, fn)
+	}
+}
+
+// runOne executes one round task, converting a panic into a recorded
+// entry so the round still reaches its barrier and Do can re-raise.
+func (p *Pool) runOne(w int, fn func(int)) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.mu.Lock()
+			p.panics = append(p.panics, poolPanic{worker: w, value: r})
+			p.mu.Unlock()
+		}
+		p.wg.Done()
+	}()
+	fn(w)
+}
+
+// Size reports the number of workers.
+func (p *Pool) Size() int { return len(p.work) }
+
+// Do runs fn(worker) on workers 0..k-1 and blocks until every call
+// returns — a full barrier. k is clamped to the pool size. A panic inside
+// any worker is re-raised here after the whole round has drained, lowest
+// worker first, so the coordinator fails deterministically instead of
+// deadlocking.
+func (p *Pool) Do(k int, fn func(worker int)) {
+	if k > len(p.work) {
+		k = len(p.work)
+	}
+	if k < 1 {
+		k = 1
+	}
+	p.wg.Add(k)
+	for w := 0; w < k; w++ {
+		p.work[w] <- fn
+	}
+	p.wg.Wait()
+	p.mu.Lock()
+	panics := p.panics
+	p.panics = nil
+	p.mu.Unlock()
+	if len(panics) > 0 {
+		first := panics[0]
+		for _, pp := range panics[1:] {
+			if pp.worker < first.worker {
+				first = pp
+			}
+		}
+		panic(fmt.Sprintf("runner: pool worker %d panicked: %v", first.worker, first.value))
+	}
+}
+
+// Close releases the workers. The pool must be idle (no Do in flight).
+func (p *Pool) Close() {
+	for _, ch := range p.work {
+		close(ch)
+	}
+}

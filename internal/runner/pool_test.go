@@ -1,0 +1,71 @@
+package runner
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRounds(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sum atomic.Int64
+	const rounds = 1000
+	for r := 0; r < rounds; r++ {
+		p.Do(4, func(w int) { sum.Add(int64(w + 1)) })
+	}
+	if got := sum.Load(); got != rounds*(1+2+3+4) {
+		t.Fatalf("sum = %d, want %d", got, rounds*10)
+	}
+}
+
+func TestPoolPartialRound(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	var hit [8]atomic.Bool
+	p.Do(3, func(w int) { hit[w].Store(true) })
+	for w := range hit {
+		if want := w < 3; hit[w].Load() != want {
+			t.Errorf("worker %d ran=%v, want %v", w, hit[w].Load(), want)
+		}
+	}
+	// Clamped above the pool size.
+	p.Do(100, func(w int) { hit[w].Store(true) })
+	for w := range hit {
+		if !hit[w].Load() {
+			t.Errorf("worker %d did not run in the clamped round", w)
+		}
+	}
+}
+
+func TestPoolPanicReRaised(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("worker panic was swallowed")
+			}
+			// Both workers 1 and 3 panic; the lowest wins so the failure
+			// is deterministic regardless of scheduling.
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "worker 1 panicked: boom-1") {
+				t.Fatalf("unexpected panic payload: %v", r)
+			}
+		}()
+		p.Do(4, func(w int) {
+			if w == 1 {
+				panic("boom-1")
+			}
+			if w == 3 {
+				panic("boom-3")
+			}
+		})
+	}()
+	// The pool survives a panicked round.
+	var n atomic.Int64
+	p.Do(4, func(int) { n.Add(1) })
+	if n.Load() != 4 {
+		t.Fatalf("pool broken after panic: %d workers ran", n.Load())
+	}
+}

@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/workload"
+)
+
+func fp(v float64) *float64 { return &v }
+
+func sporadicScenario(costs *CostsSpec) Scenario {
+	return Scenario{
+		Seconds: 1,
+		Seed:    1,
+		Costs:   costs,
+		VMs: []VM{{
+			Name: "vm0",
+			Tasks: []TaskSpec{{
+				Name: "spor", Kind: "sporadic",
+				SliceUS: 100, PeriodUS: 10000, RateHz: 50,
+			}},
+		}},
+	}
+}
+
+func TestNetworkDelayValidation(t *testing.T) {
+	for _, bad := range []float64{0, -1, -0.001} {
+		sc := sporadicScenario(&CostsSpec{NetworkDelayUS: fp(bad)})
+		err := sc.Validate()
+		if err == nil {
+			t.Errorf("network_delay_us=%v accepted, want rejection", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "network_delay_us") || !strings.Contains(err.Error(), "lookahead") {
+			t.Errorf("error should name the field and why it must be positive: %v", err)
+		}
+	}
+	if err := sporadicScenario(&CostsSpec{NetworkDelayUS: fp(42)}).Validate(); err != nil {
+		t.Fatalf("valid delay rejected: %v", err)
+	}
+}
+
+func TestNetworkDelayPlumbing(t *testing.T) {
+	// Default: the workload's 19µs.
+	w, err := Build(sporadicScenario(nil), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.NetworkDelay(); got != workload.DefaultNetworkDelay() {
+		t.Fatalf("default NetworkDelay = %v, want %v", got, workload.DefaultNetworkDelay())
+	}
+
+	// Override changes the release instants, so two otherwise-identical
+	// runs must see different first-release times but the same request
+	// count.
+	run := func(us float64) *Result {
+		res, err := Run(sporadicScenario(&CostsSpec{NetworkDelayUS: fp(us)}), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	small, large := run(19), run(5000)
+	if small.Tasks[0].Stats.Released == 0 {
+		t.Fatal("sporadic stream released nothing")
+	}
+	if small.Tasks[0].Latency == nil || large.Tasks[0].Latency == nil {
+		t.Fatal("missing latency recorders")
+	}
+	// A 5ms one-way delay cannot produce the identical completion stream
+	// as 19µs: the overridden world must actually differ.
+	if small.Tasks[0].Stats == large.Tasks[0].Stats &&
+		small.Tasks[0].Latency.Mean() == large.Tasks[0].Latency.Mean() {
+		t.Fatal("network_delay_us override had no observable effect")
+	}
+
+	wBig, err := Build(sporadicScenario(&CostsSpec{NetworkDelayUS: fp(5000)}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wBig.NetworkDelay(); got != simtime.Millis(5) {
+		t.Fatalf("override NetworkDelay = %v, want 5ms", got)
+	}
+}

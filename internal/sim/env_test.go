@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"rtvirt/internal/eventq"
+)
+
+// TestEnvBackend covers the RTVIRT_EVENTQ selector: known names resolve,
+// unknown names panic loudly instead of silently running on the heap.
+func TestEnvBackend(t *testing.T) {
+	for name, want := range map[string]eventq.Backend{
+		"":      eventq.BackendHeap,
+		"heap":  eventq.BackendHeap,
+		"wheel": eventq.BackendWheel,
+	} {
+		t.Setenv("RTVIRT_EVENTQ", name)
+		if got := EnvBackend(); got != want {
+			t.Errorf("RTVIRT_EVENTQ=%q: got %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestEnvBackendUnknownPanics(t *testing.T) {
+	t.Setenv("RTVIRT_EVENTQ", "whel")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("EnvBackend accepted an unknown backend name")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, `"whel"`) {
+			t.Fatalf("panic should name the bad value, got: %v", r)
+		}
+	}()
+	EnvBackend()
+}

@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"rtvirt/internal/clone"
+	"rtvirt/internal/eventq"
+	"rtvirt/internal/runner"
+	"rtvirt/internal/simtime"
+)
+
+// This file implements sharded (conservative-PDES) execution: a ShardSet
+// holds one Simulator per shard (logical process — in the cluster model,
+// one per host), and advances them concurrently in lookahead windows.
+//
+// The synchronization protocol is classic conservative null-message-free
+// windowing. Let T be the globally earliest pending event time across all
+// shards and L the lookahead (the minimum cross-shard latency — in the
+// cluster, the 19µs network delay). Every shard may safely fire its events
+// in [T, T+L): any cross-shard message emitted inside the window is sent
+// at some t ≥ T with delay ≥ L, so it arrives at t+L ≥ T+L — beyond the
+// window — and can be delivered at the next barrier without ever rewinding
+// a shard. Cross-shard sends go through Shard.PostRemote into a per-shard
+// outbox, and the coordinator drains all outboxes between windows.
+//
+// Determinism does not depend on how shards are grouped onto executors:
+// each shard's intra-window execution is single-threaded on its own queue,
+// window boundaries are a pure function of the global event population,
+// and the barrier drain orders messages by (arrival time, source shard,
+// emission counter) before assigning fresh seqs in the target queue. Runs
+// with 1, 2, 4, or 8 executor groups are therefore bit-identical — the
+// golden the sharded cluster tests pin.
+
+// Shard is one logical process of a sharded simulation: its own Simulator
+// (clock, queue, RNG, handlers) plus an outbox of cross-shard messages
+// awaiting the next barrier.
+type Shard struct {
+	id  int
+	set *ShardSet
+	sim *Simulator
+
+	outbox []remoteMsg
+	// edgeSeq[to] counts messages emitted on the (this shard → to) edge —
+	// a per-edge lamport-style counter that makes the barrier drain order
+	// (and hence the fresh seqs assigned in the target queue) independent
+	// of executor grouping.
+	edgeSeq []uint64
+}
+
+// remoteMsg is one buffered cross-shard message.
+type remoteMsg struct {
+	at   simtime.Time
+	from int32
+	to   int32
+	n    uint64 // per-(from,to)-edge emission counter
+	p    Payload
+}
+
+// ShardSet owns the shards of one sharded simulation and coordinates
+// their windowed execution.
+type ShardSet struct {
+	lookahead simtime.Duration
+	shards    []*Shard
+
+	windows uint64
+	inRun   bool
+	// scratch is the reusable barrier-drain buffer.
+	scratch []remoteMsg
+}
+
+// NewShardSet creates an empty shard set with the given lookahead — the
+// minimum cross-shard latency, which must be positive (a zero lookahead
+// admits no concurrency: every window would be empty).
+func NewShardSet(lookahead simtime.Duration) *ShardSet {
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: shard set needs a positive lookahead, got %v", lookahead))
+	}
+	return &ShardSet{lookahead: lookahead}
+}
+
+// Lookahead reports the conservative window width.
+func (ss *ShardSet) Lookahead() simtime.Duration { return ss.lookahead }
+
+// NewShard adds a shard running on a fresh Simulator seeded with seed
+// (backend: DefaultBackend). Shards must all be added before the first
+// Run; their creation order defines their IDs.
+func (ss *ShardSet) NewShard(seed uint64) *Shard {
+	return ss.NewShardWithBackend(seed, DefaultBackend)
+}
+
+// NewShardWithBackend is NewShard with an explicitly pinned event-queue
+// backend.
+func (ss *ShardSet) NewShardWithBackend(seed uint64, b eventq.Backend) *Shard {
+	if ss.inRun {
+		panic("sim: NewShard during RunUntil")
+	}
+	sh := &Shard{id: len(ss.shards), set: ss, sim: NewWithBackend(seed, b)}
+	ss.shards = append(ss.shards, sh)
+	for _, s := range ss.shards {
+		for len(s.edgeSeq) < len(ss.shards) {
+			s.edgeSeq = append(s.edgeSeq, 0)
+		}
+	}
+	return sh
+}
+
+// Shards returns the shards in ID order.
+func (ss *ShardSet) Shards() []*Shard { return ss.shards }
+
+// Windows reports how many conservative windows have executed.
+func (ss *ShardSet) Windows() uint64 { return ss.windows }
+
+// EventsFired sums the event counters across shards.
+func (ss *ShardSet) EventsFired() uint64 {
+	var n uint64
+	for _, sh := range ss.shards {
+		n += sh.sim.EventsFired()
+	}
+	return n
+}
+
+// Now reports the earliest shard clock — the global simulation time.
+func (ss *ShardSet) Now() simtime.Time {
+	if len(ss.shards) == 0 {
+		return 0
+	}
+	min := ss.shards[0].sim.Now()
+	for _, sh := range ss.shards[1:] {
+		if t := sh.sim.Now(); t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// ID reports the shard's position in its set.
+func (sh *Shard) ID() int { return sh.id }
+
+// Sim exposes the shard's simulator. Handlers running on it may touch
+// only state owned by this shard; anything cross-shard goes through
+// PostRemote.
+func (sh *Shard) Sim() *Simulator { return sh.sim }
+
+// PostRemote buffers a typed event for delivery into another shard's
+// queue at the absolute instant at. The arrival must respect the set's
+// lookahead (at ≥ now + lookahead): that bound is exactly what lets the
+// target shard run a full window without waiting for this one. Messages
+// are held in the sender's outbox and merged into the target queue at the
+// next barrier, in an order independent of executor grouping. Posting to
+// the shard itself panics — local work uses PostAt and needs no lookahead.
+func (sh *Shard) PostRemote(to *Shard, at simtime.Time, p Payload) {
+	if to == nil || to.set != sh.set {
+		panic("sim: PostRemote to a shard of a different set")
+	}
+	if to == sh {
+		panic("sim: PostRemote to own shard (use PostAt)")
+	}
+	if min := sh.sim.Now().Add(sh.set.lookahead); at < min {
+		panic(fmt.Sprintf("sim: PostRemote at %v violates lookahead %v (now %v, earliest legal %v)",
+			at, sh.set.lookahead, sh.sim.Now(), min))
+	}
+	sh.edgeSeq[to.id]++
+	sh.outbox = append(sh.outbox, remoteMsg{
+		at:   at,
+		from: int32(sh.id),
+		to:   int32(to.id),
+		n:    sh.edgeSeq[to.id],
+		p:    p,
+	})
+}
+
+// nextTime returns the earliest pending event time across all shards.
+func (ss *ShardSet) nextTime() simtime.Time {
+	next := simtime.Never
+	for _, sh := range ss.shards {
+		if t := sh.sim.q.PeekTime(); t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+// drain merges every outbox into the target queues. The sort key
+// (arrival, source, target, edge counter) is unique per message and
+// depends only on simulation state, so the fresh seqs SchedulePayload
+// assigns in each target queue — and with them the FIFO order among
+// same-instant events — are identical however the previous window's
+// shards were grouped onto executors.
+func (ss *ShardSet) drain() {
+	batch := ss.scratch[:0]
+	for _, sh := range ss.shards {
+		batch = append(batch, sh.outbox...)
+		sh.outbox = sh.outbox[:0]
+	}
+	if len(batch) > 1 {
+		sort.Slice(batch, func(i, j int) bool {
+			a, b := batch[i], batch[j]
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			if a.from != b.from {
+				return a.from < b.from
+			}
+			if a.to != b.to {
+				return a.to < b.to
+			}
+			return a.n < b.n
+		})
+	}
+	for _, m := range batch {
+		ss.shards[m.to].sim.PostAt(m.at, m.p)
+	}
+	ss.scratch = batch[:0]
+}
+
+// runWindow fires the simulator's events with time < w (and ≤ end),
+// without advancing the clock past the last fired event.
+func (s *Simulator) runWindow(w, end simtime.Time) {
+	for {
+		next := s.q.PeekTime()
+		if next >= w || next > end {
+			// simtime.Never compares greater than any real instant, so an
+			// empty queue lands here too.
+			break
+		}
+		s.fireAt(next)
+	}
+}
+
+// RunUntil advances every shard to end under conservative windowed
+// synchronization, using up to groups concurrent executors (1 = fully
+// sequential, same results). Shards are assigned to executors round-robin
+// by ID; the assignment is pure bookkeeping — outputs are bit-identical
+// for every group count.
+func (ss *ShardSet) RunUntil(end simtime.Time, groups int) {
+	if len(ss.shards) == 0 {
+		return
+	}
+	if ss.inRun {
+		panic("sim: ShardSet.RunUntil re-entered")
+	}
+	ss.inRun = true
+	defer func() { ss.inRun = false }()
+
+	if groups < 1 {
+		groups = 1
+	}
+	if groups > len(ss.shards) {
+		groups = len(ss.shards)
+	}
+	var pool *runner.Pool
+	if groups > 1 {
+		pool = runner.NewPool(groups)
+		defer pool.Close()
+	}
+
+	for {
+		// Barrier point: all shards idle. Deliver cross-shard messages
+		// emitted in the previous window (and any buffered before the run).
+		ss.drain()
+		next := ss.nextTime()
+		if next > end {
+			break
+		}
+		w := next.Add(ss.lookahead)
+		ss.windows++
+
+		// Count shards with work in this window; a window with one active
+		// shard (or one executor) runs inline — no handoff cost.
+		active, last := 0, -1
+		for i, sh := range ss.shards {
+			if t := sh.sim.q.PeekTime(); t < w && t <= end {
+				active++
+				last = i
+			}
+		}
+		switch {
+		case active == 1:
+			ss.shards[last].sim.runWindow(w, end)
+		case groups == 1:
+			for _, sh := range ss.shards {
+				sh.sim.runWindow(w, end)
+			}
+		default:
+			pool.Do(groups, func(g int) {
+				for i := g; i < len(ss.shards); i += groups {
+					ss.shards[i].sim.runWindow(w, end)
+				}
+			})
+		}
+	}
+
+	// All queues are past end (or empty): settle every clock at end, like
+	// Simulator.RunUntil does.
+	for _, sh := range ss.shards {
+		sh.sim.RunUntil(end)
+	}
+}
+
+// RunFor advances the set by d from its current global time.
+func (ss *ShardSet) RunFor(d simtime.Duration, groups int) {
+	ss.RunUntil(ss.Now().Add(d), groups)
+}
+
+// Fork deep-copies the whole shard set — every shard's simulator and the
+// in-flight mailbox messages — through one shared clone context, so
+// cross-shard references held by handlers (e.g. a cluster agent holding
+// peers' shard pointers) land on the forked twins. Shard clones are
+// memoized before any simulator forks, mirroring the Put-before-fill rule.
+func (ss *ShardSet) Fork(ctx *clone.Ctx) (*ShardSet, error) {
+	if ss.inRun {
+		panic("sim: Fork during RunUntil")
+	}
+	nss := &ShardSet{lookahead: ss.lookahead, windows: ss.windows}
+	ctx.Put(ss, nss)
+	nss.shards = make([]*Shard, len(ss.shards))
+	for i, sh := range ss.shards {
+		nsh := &Shard{
+			id:      sh.id,
+			set:     nss,
+			edgeSeq: append([]uint64(nil), sh.edgeSeq...),
+		}
+		if len(sh.outbox) > 0 {
+			nsh.outbox = append([]remoteMsg(nil), sh.outbox...)
+		}
+		ctx.Put(sh, nsh)
+		nss.shards[i] = nsh
+	}
+	for i, sh := range ss.shards {
+		nsim, err := sh.sim.Fork(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("sim: forking shard %d: %w", i, err)
+		}
+		nss.shards[i].sim = nsim
+	}
+	return nss, nil
+}

@@ -30,17 +30,17 @@ type Simulator struct {
 // so a whole test run can be pointed at either backend without touching
 // call sites; harnesses that sweep both backends (internal/check/quick,
 // the golden tests) set it — or call NewWithBackend — per run.
-var DefaultBackend = backendFromEnv()
+var DefaultBackend = EnvBackend()
 
-func backendFromEnv() eventq.Backend {
-	switch os.Getenv("RTVIRT_EVENTQ") {
-	case "wheel":
-		return eventq.BackendWheel
-	case "", "heap":
-		return eventq.BackendHeap
-	default:
-		panic(fmt.Sprintf("sim: unknown RTVIRT_EVENTQ value %q (want heap or wheel)", os.Getenv("RTVIRT_EVENTQ")))
+// EnvBackend re-reads RTVIRT_EVENTQ and resolves it through
+// eventq.ParseBackend. An unknown name panics loudly — a typo must never
+// silently run the whole suite on the heap default.
+func EnvBackend() eventq.Backend {
+	b, err := eventq.ParseBackend(os.Getenv("RTVIRT_EVENTQ"))
+	if err != nil {
+		panic(fmt.Sprintf("sim: RTVIRT_EVENTQ: %v", err))
 	}
+	return b
 }
 
 // New returns a Simulator whose clock starts at 0 and whose random source

@@ -33,6 +33,13 @@ const (
 	evIOPhase2
 )
 
+// DefaultNetworkDelay is the modelled client→server network latency: the
+// paper's measured 99.9th-percentile inter-host delay (19µs, §4.2). Beyond
+// workload fidelity it is the natural conservative-PDES lookahead for
+// sharded cluster runs — no cross-host interaction can land sooner — so
+// sim.NewShardSet callers default their window width to it.
+func DefaultNetworkDelay() simtime.Duration { return simtime.Micros(19) }
+
 // RTApp is the rt-app periodic load generator: it takes a time slice and
 // period as input and simulates a periodic load that runs for a specified
 // duration.
@@ -99,7 +106,7 @@ func NewSporadicClientFor(g *guest.OS, t *task.Task, inter dist.Duration, reques
 		Task:         t,
 		Guest:        g,
 		InterArrival: inter,
-		NetworkDelay: simtime.Micros(19),
+		NetworkDelay: DefaultNetworkDelay(),
 		Requests:     requests,
 		sim:          g.VM().Host().Sim,
 	}
