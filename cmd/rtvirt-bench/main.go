@@ -45,8 +45,8 @@ func main() {
 		benchOut   = flag.String("bench-out", "BENCH_5.json", "output path for the -kernel comparison report")
 		forkWarmup = flag.Bool("fork-warmup", false, "benchmark the fig5 warm-start fork sweep against its cold control and exit")
 		forkOut    = flag.String("fork-out", "BENCH_4.json", "output path for the -fork-warmup comparison report")
-		pdes       = flag.Bool("pdes", false, "benchmark the sharded conservative-PDES cluster (executor groups 1/2/4/8, digest identity enforced) and exit")
-		pdesOut    = flag.String("pdes-out", "BENCH_6.json", "output path for the -pdes scaling report")
+		pdes       = flag.Bool("pdes", false, "benchmark the sharded conservative-PDES cluster (executor groups 1/2/4/8 on both eventq backends, per-edge vs global windows, digest identity enforced) and exit")
+		pdesOut    = flag.String("pdes-out", "BENCH_7.json", "output path for the -pdes lookahead/topology report")
 		pdesHosts  = flag.Int("pdes-hosts", 64, "hosts (= shards) for the -pdes sweep")
 	)
 	flag.Parse()

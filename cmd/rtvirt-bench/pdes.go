@@ -6,55 +6,108 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"rtvirt/internal/cluster"
 	"rtvirt/internal/dist"
+	"rtvirt/internal/eventq"
+	"rtvirt/internal/sim"
 	"rtvirt/internal/simtime"
 	"rtvirt/internal/task"
 )
 
-// The -pdes benchmark: a memcached-style cluster — every host serves a
-// cache VM whose sporadic task is driven by remote clients on two other
-// hosts, next to a periodic RT task and a background hog — advanced
-// under 1, 2, 4, and 8 executor groups. Every group count must produce a
-// byte-identical cluster digest (the conservative-PDES determinism
-// contract); the walls measure how much of the window width the executor
-// pool turns into real parallelism on the machine at hand.
-
+// The -pdes benchmark: a memcached-style cluster — every host serves two
+// cache VMs whose sporadic tasks are driven by remote clients on two
+// other hosts, next to a periodic RT task and a background hog — with a
+// rack-structured network: hosts come in racks of 8, and a client's
+// request latency depends on how far its rack is from the cache's
+// (120/180/260 µs for same/adjacent/distant racks).
+//
+// The sweep measures two things:
+//
+//   - Windows. With per-edge lookaheads (the default), every declared
+//     link contributes its real latency to the conservative window
+//     bounds, so windows stretch to the topology's cycle lengths instead
+//     of the 19 µs global floor. One extra run with
+//     ShardedConfig.GlobalWindows compares against the PR-7 protocol on
+//     the identical world; BENCH_6's recorded window count is the
+//     historical reference for the same hosts/VMs/seconds configuration.
+//   - Determinism. Executor groups 1/2/4/8 on both event-queue backends
+//     (heap and timing wheel) must produce byte-identical cluster
+//     digests; the global-window run must match modulo the window count
+//     in the digest header. Any divergence fails the process.
 type pdesGroupRow struct {
+	Backend      string  `json:"backend"`
 	Groups       int     `json:"groups"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	Speedup      float64 `json:"speedup_vs_groups1"`
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
+type pdesLinkDelays struct {
+	SameRackUS     float64 `json:"same_rack_us"`
+	AdjacentRackUS float64 `json:"adjacent_rack_us"`
+	DistantRackUS  float64 `json:"distant_rack_us"`
+}
+
 type pdesReport struct {
-	Bench            string         `json:"bench"`
-	GoVersion        string         `json:"go_version"`
-	Cores            int            `json:"cores"`
-	Hosts            int            `json:"hosts"`
-	VMs              int            `json:"vms"`
-	Clients          int            `json:"clients"`
-	SimulatedSeconds int64          `json:"simulated_seconds"`
-	LookaheadUS      float64        `json:"lookahead_us"`
-	Requests         uint64         `json:"requests"`
-	Events           uint64         `json:"events"`
-	Windows          uint64         `json:"windows"`
-	Migrations       int            `json:"migrations"`
-	Groups           []pdesGroupRow `json:"groups_sweep"`
-	DigestIdentical  bool           `json:"digest_identical"`
-	Note             string         `json:"note"`
+	Bench             string         `json:"bench"`
+	GoVersion         string         `json:"go_version"`
+	Cores             int            `json:"cores"`
+	Hosts             int            `json:"hosts"`
+	VMs               int            `json:"vms"`
+	Clients           int            `json:"clients"`
+	SimulatedSeconds  int64          `json:"simulated_seconds"`
+	LookaheadUS       float64        `json:"lookahead_us"`
+	RackSize          int            `json:"rack_size"`
+	LinkDelays        pdesLinkDelays `json:"link_delays"`
+	Requests          uint64         `json:"requests"`
+	Events            uint64         `json:"events"`
+	WindowsPerEdge    uint64         `json:"windows_per_edge"`
+	WindowsGlobal     uint64         `json:"windows_global"`
+	WindowsBench6     uint64         `json:"windows_bench6_reference"`
+	ReductionVsGlobal float64        `json:"window_reduction_vs_global"`
+	ReductionVsBench6 float64        `json:"window_reduction_vs_bench6"`
+	Migrations        int            `json:"migrations"`
+	Groups            []pdesGroupRow `json:"groups_sweep"`
+	DigestIdentical   bool           `json:"digest_identical"`
+	Note              string         `json:"note"`
+}
+
+// bench6Windows is the window count BENCH_6.json recorded for this exact
+// configuration (64 hosts, 128 VMs, 2 simulated seconds, 19 µs
+// lookahead) under the PR-7 single-global-lookahead protocol.
+const bench6Windows = 103404
+
+// pdesRackSize groups hosts into racks; a client's network delay to a
+// cache depends only on the rack distance.
+const pdesRackSize = 8
+
+func pdesLinkDelay(src, dst int) simtime.Duration {
+	rs, rd := src/pdesRackSize, dst/pdesRackSize
+	switch d := rs - rd; {
+	case d == 0:
+		return simtime.Micros(120)
+	case d == 1 || d == -1:
+		return simtime.Micros(180)
+	default:
+		return simtime.Micros(260)
+	}
 }
 
 // buildPDESBench assembles the hosts-sized cluster. Two cache VMs per
-// host, each sporadic server fed by a client on the next host over;
-// eight planned migrations ripple through the first hosts.
-func buildPDESBench(hosts int) (*cluster.Sharded, []*cluster.RemoteClient) {
+// host, each sporadic server fed by clients one and two hosts over at
+// the rack-distance link delay; eight planned migrations ripple through
+// the first hosts. The world is identical under both window modes — only
+// the synchronization protocol differs.
+func buildPDESBench(hosts int, globalWindows bool) (*cluster.Sharded, []*cluster.RemoteClient) {
 	cfg := cluster.DefaultShardedConfig()
 	cfg.Hosts = hosts
 	cfg.PCPUs = 4
 	cfg.Seed = 1
+	cfg.GlobalWindows = globalWindows
+	cfg.LinkDelay = pdesLinkDelay
 	c := cluster.NewSharded(cfg)
 	var clients []*cluster.RemoteClient
 	for h := 0; h < hosts; h++ {
@@ -79,7 +132,7 @@ func buildPDESBench(hosts int) (*cluster.Sharded, []*cluster.RemoteClient) {
 				if src == h {
 					continue // degenerate only when hosts < 3
 				}
-				cl, err := c.AddRemoteClient(src, d, 0, cfg.Lookahead,
+				cl, err := c.AddRemoteClient(src, d, 0, pdesLinkDelay(src, h),
 					dist.Uniform{Lo: simtime.Micros(150), Hi: simtime.Micros(500)},
 					dist.Uniform{Lo: simtime.Micros(20), Hi: simtime.Micros(80)}, 0)
 				if err != nil {
@@ -103,9 +156,26 @@ func buildPDESBench(hosts int) (*cluster.Sharded, []*cluster.RemoteClient) {
 	return c, clients
 }
 
-// runPDES sweeps executor group counts over the sharded cluster, checks
-// digest identity, and writes the scaling report to outPath
-// (BENCH_6.json by default).
+// digestSansWindows strips the "windows=N" token from a cluster digest's
+// header line. Everything observable — event counts, clocks, per-task
+// statistics — must match across window protocols; only how many barrier
+// rounds produced it may differ.
+func digestSansWindows(d string) string {
+	head, rest, _ := strings.Cut(d, "\n")
+	fields := strings.Fields(head)
+	kept := fields[:0]
+	for _, f := range fields {
+		if !strings.HasPrefix(f, "windows=") {
+			kept = append(kept, f)
+		}
+	}
+	return strings.Join(kept, " ") + "\n" + rest
+}
+
+// runPDES sweeps executor group counts and event-queue backends over the
+// sharded cluster under per-edge window bounds, checks digest identity,
+// runs one global-window baseline for the window-count A/B, and writes
+// the report to outPath (BENCH_7.json by default).
 func runPDES(outPath string, hosts int, seconds int64) {
 	if hosts < 3 {
 		log.Fatalf("pdes bench needs at least 3 hosts, got %d", hosts)
@@ -118,60 +188,98 @@ func runPDES(outPath string, hosts int, seconds int64) {
 		hosts, seconds, runtime.NumCPU())
 
 	r := pdesReport{
-		Bench:            "sharded conservative-PDES cluster: executor-group scaling sweep",
+		Bench:            "sharded conservative-PDES cluster: per-edge lookahead topology sweep",
 		GoVersion:        runtime.Version(),
 		Cores:            runtime.NumCPU(),
 		Hosts:            hosts,
 		SimulatedSeconds: seconds,
+		RackSize:         pdesRackSize,
+		LinkDelays:       pdesLinkDelays{SameRackUS: 120, AdjacentRackUS: 180, DistantRackUS: 260},
+		WindowsBench6:    bench6Windows,
 		DigestIdentical:  true,
 		Note: "walls measured on this machine; speedup is bounded by physical cores " +
 			"(a 1-core container shows ~1x at every group count by construction — " +
 			"the digest-identity column is the determinism contract, the CI smoke " +
-			"re-runs the sweep on multi-core runners)",
+			"re-runs the sweep on multi-core runners). windows_bench6_reference is " +
+			"the PR-7 global-lookahead run on the same hosts/VMs/seconds " +
+			"configuration; windows_global re-measures that protocol on this " +
+			"exact world via ShardedConfig.GlobalWindows.",
 	}
+
+	prevBackend := sim.DefaultBackend
+	defer func() { sim.DefaultBackend = prevBackend }()
 
 	var baseDigest string
-	var baseWall float64
-	for _, groups := range []int{1, 2, 4, 8} {
-		c, clients := buildPDESBench(hosts)
-		if groups == 1 {
-			r.VMs = len(c.Deployments())
-			r.Clients = len(clients)
-			r.LookaheadUS = float64(c.Cfg.Lookahead) / float64(simtime.Microsecond)
-		}
-		c.Start()
-		start := time.Now()
-		c.Run(total, groups)
-		wall := time.Since(start).Seconds()
-		c.Finish()
+	for _, backend := range []eventq.Backend{eventq.BackendHeap, eventq.BackendWheel} {
+		sim.DefaultBackend = backend
+		var baseWall float64
+		for _, groups := range []int{1, 2, 4, 8} {
+			c, clients := buildPDESBench(hosts, false)
+			first := baseDigest == ""
+			if first {
+				r.VMs = len(c.Deployments())
+				r.Clients = len(clients)
+				r.LookaheadUS = float64(c.Cfg.Lookahead) / float64(simtime.Microsecond)
+			}
+			c.Start()
+			start := time.Now()
+			c.Run(total, groups)
+			wall := time.Since(start).Seconds()
+			c.Finish()
 
-		digest := c.DigestString()
-		if groups == 1 {
-			baseDigest, baseWall = digest, wall
-			r.Events = c.Set.EventsFired()
-			r.Windows = c.Set.Windows()
-			for _, cl := range clients {
-				r.Requests += uint64(cl.Sent())
+			digest := c.DigestString()
+			if first {
+				baseDigest = digest
+				r.Events = c.Set.EventsFired()
+				r.WindowsPerEdge = c.Set.Windows()
+				for _, cl := range clients {
+					r.Requests += uint64(cl.Sent())
+				}
+				for _, d := range c.Deployments() {
+					r.Migrations += d.Migrations
+				}
+			} else if digest != baseDigest {
+				r.DigestIdentical = false
+				fmt.Printf("  [%v] groups=%d DIGEST DIVERGED from the baseline run\n", backend, groups)
 			}
-			for _, d := range c.Deployments() {
-				r.Migrations += d.Migrations
+			if groups == 1 {
+				baseWall = wall
 			}
-		} else if digest != baseDigest {
-			r.DigestIdentical = false
-			fmt.Printf("  groups=%d DIGEST DIVERGED from groups=1\n", groups)
+			row := pdesGroupRow{
+				Backend:      backend.String(),
+				Groups:       groups,
+				WallSeconds:  wall,
+				Speedup:      baseWall / wall,
+				EventsPerSec: float64(r.Events) / wall,
+			}
+			r.Groups = append(r.Groups, row)
+			fmt.Printf("  [%v] groups=%d  wall %7.3f s  speedup %4.2fx  %.2fM events/s\n",
+				backend, groups, row.WallSeconds, row.Speedup, row.EventsPerSec/1e6)
 		}
-		row := pdesGroupRow{
-			Groups:       groups,
-			WallSeconds:  wall,
-			Speedup:      baseWall / wall,
-			EventsPerSec: float64(r.Events) / wall,
-		}
-		r.Groups = append(r.Groups, row)
-		fmt.Printf("  groups=%d  wall %7.3f s  speedup %4.2fx  %.2fM events/s\n",
-			groups, row.WallSeconds, row.Speedup, row.EventsPerSec/1e6)
 	}
-	fmt.Printf("  %d VMs, %d clients, %d requests, %d events in %d windows, %d migrations; digests identical: %v\n",
-		r.VMs, r.Clients, r.Requests, r.Events, r.Windows, r.Migrations, r.DigestIdentical)
+
+	// The A/B leg: the same world advanced under the PR-7 protocol (one
+	// global lookahead bounds every window). Observable state must match
+	// the per-edge runs bit-for-bit; only the window count may differ.
+	sim.DefaultBackend = eventq.BackendHeap
+	gc, _ := buildPDESBench(hosts, true)
+	gc.Start()
+	gc.Run(total, 1)
+	gc.Finish()
+	r.WindowsGlobal = gc.Set.Windows()
+	if digestSansWindows(gc.DigestString()) != digestSansWindows(baseDigest) {
+		r.DigestIdentical = false
+		fmt.Println("  global-window baseline DIGEST DIVERGED from per-edge runs")
+	}
+	if r.WindowsPerEdge > 0 {
+		r.ReductionVsGlobal = float64(r.WindowsGlobal) / float64(r.WindowsPerEdge)
+		r.ReductionVsBench6 = float64(bench6Windows) / float64(r.WindowsPerEdge)
+	}
+
+	fmt.Printf("  %d VMs, %d clients, %d requests, %d events, %d migrations; digests identical: %v\n",
+		r.VMs, r.Clients, r.Requests, r.Events, r.Migrations, r.DigestIdentical)
+	fmt.Printf("  windows: per-edge %d, global %d on this world (%.1fx fewer), BENCH_6 reference %d (%.1fx fewer)\n",
+		r.WindowsPerEdge, r.WindowsGlobal, r.ReductionVsGlobal, r.WindowsBench6, r.ReductionVsBench6)
 	if !r.DigestIdentical {
 		log.Fatal("pdes bench: executor group counts disagreed — determinism contract broken")
 	}

@@ -34,6 +34,21 @@ const pdesHosts = 3
 // half time. Periodic and background tasks run under the cluster's own
 // release machinery. Server-style reservations have no sharded
 // counterpart, so those VMs deploy as plain vcpus-style guests.
+// pdesClientDelay derives a deterministic pseudo-random network delay for
+// the client driving task ti of VM vi's host-h replica: 1–4× the global
+// lookahead (splitmix64 finalizer over the case seed and coordinates).
+// Each client edge therefore declares its own lookahead, so the oracle
+// also probes the per-edge window bounds on random heterogeneous
+// topologies.
+func pdesClientDelay(lookahead simtime.Duration, seed uint64, h, vi, ti int) simtime.Duration {
+	z := seed + uint64(h+1)*0x9E3779B97F4A7C15 +
+		uint64(vi+1)*0xBF58476D1CE4E5B9 + uint64(ti+1)*0x94D049BB133111EB
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return lookahead * simtime.Duration(1+z%4)
+}
+
 func buildPDES(sc scenario.Scenario, seed uint64) (*cluster.Sharded, error) {
 	cfg := cluster.DefaultShardedConfig()
 	cfg.Hosts = pdesHosts
@@ -47,7 +62,7 @@ func buildPDES(sc scenario.Scenario, seed uint64) (*cluster.Sharded, error) {
 	c := cluster.NewSharded(cfg)
 	total := simtime.Duration(sc.Seconds) * simtime.Second
 	for h := 0; h < cfg.Hosts; h++ {
-		for _, vm := range sc.VMs {
+		for vi, vm := range sc.VMs {
 			vcpus := vm.VCPUs
 			if vcpus <= 0 {
 				vcpus = 1
@@ -90,7 +105,8 @@ func buildPDES(sc scenario.Scenario, seed uint64) (*cluster.Sharded, error) {
 					rate = 10
 				}
 				mean := simtime.Duration(1e9 / rate) // ns between requests
-				_, err := c.AddRemoteClient((h+1)%cfg.Hosts, d, i, cfg.Lookahead,
+				_, err := c.AddRemoteClient((h+1)%cfg.Hosts, d, i,
+					pdesClientDelay(cfg.Lookahead, seed, h, vi, i),
 					dist.Uniform{Lo: mean / 2, Hi: mean + mean/2}, nil, 0)
 				if err != nil {
 					return nil, fmt.Errorf("quick: pdes client: %w", err)

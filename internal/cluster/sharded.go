@@ -54,6 +54,21 @@ type ShardedConfig struct {
 	// model, as in Config.
 	MigrationDowntime simtime.Duration
 	MigrationPerBW    simtime.Duration
+	// LinkDelay optionally models per-pair network latency: forwarded
+	// requests chase a migrated VM at LinkDelay(src, dst) instead of the
+	// global Lookahead floor, and the declared migration-pair edges widen
+	// to match, so per-edge windows stretch to the topology's real link
+	// latencies. Nil charges every forwarded hop exactly Lookahead. The
+	// function must be pure (same inputs, same answer — Fork shares it)
+	// and must never return less than Lookahead; the first undershooting
+	// hop panics.
+	LinkDelay func(src, dst int) simtime.Duration
+	// GlobalWindows disables per-edge topology declaration: the shard set
+	// windows on the single global Lookahead for every pair, as before
+	// per-edge synchronization existed. Results are identical either way
+	// (modulo the window count); the knob exists for A/B comparison and
+	// as an escape hatch.
+	GlobalWindows bool
 }
 
 // DefaultShardedConfig returns a 4-host × 4-CPU RTVirt sharded cluster
@@ -259,8 +274,16 @@ type Sharded struct {
 	deps       []*ShardedDeployment
 	byName     map[string]*ShardedDeployment
 	clients    []*RemoteClient
+	plans      []migPlan
 	nextTaskID int
 	started    bool
+}
+
+// migPlan records one planned migration's endpoints for topology
+// declaration: src is the VM's host when the plan was laid (where the
+// stop-and-copy event sits), dst the target.
+type migPlan struct {
+	src, dst int
 }
 
 // NewSharded builds the hosts, one simulator each. It panics on an
@@ -439,7 +462,57 @@ func (c *Sharded) PlanMigration(at simtime.Time, d *ShardedDeployment, to int) e
 	src := c.Hosts[d.hostIdx]
 	src.Shard.Sim().PostAt(at, sim.Payload{Handler: src.agent.id,
 		Kind: evAgentMigOut, Owner: d.id, Arg0: int64(to)})
+	c.plans = append(c.plans, migPlan{src: d.hostIdx, dst: to})
 	return nil
+}
+
+// hopDelay is the network latency a forwarded request pays on the
+// (from, to) link: Cfg.LinkDelay when configured, the global Lookahead
+// floor otherwise. A LinkDelay below the lookahead would let a forward
+// outrun the conservative window, so it panics loudly.
+func (c *Sharded) hopDelay(from, to int) simtime.Duration {
+	if c.Cfg.LinkDelay == nil {
+		return c.Cfg.Lookahead
+	}
+	d := c.Cfg.LinkDelay(from, to)
+	if d < c.Cfg.Lookahead {
+		panic(fmt.Sprintf("cluster: LinkDelay(%d, %d) = %v below lookahead %v",
+			from, to, d, c.Cfg.Lookahead))
+	}
+	return d
+}
+
+// declareTopology hands the shard set the actual communication graph so
+// it can window per edge instead of on the global minimum. Every
+// cross-shard message the sharded cluster can emit travels one of three
+// edges, all known before Start: a client's (client host → home host) hop
+// at its own network delay, a planned migration's (source → target) hop
+// at the blackout downtime (≥ MigrationDowntime), or a forwarded request
+// on that same (source → target) pair at hopDelay — forwards only chase
+// fired plans, and a plan only fires on the host that laid it. Parallel
+// declarations keep the minimum delay per pair.
+func (c *Sharded) declareTopology() {
+	c.Set.UseDeclaredTopology()
+	min := make(map[[2]int]simtime.Duration)
+	narrow := func(from, to int, l simtime.Duration) {
+		k := [2]int{from, to}
+		if cur, ok := min[k]; !ok || l < cur {
+			min[k] = l
+		}
+	}
+	for _, cl := range c.clients {
+		narrow(cl.Host, int(cl.homeHost), cl.Delay)
+	}
+	for _, p := range c.plans {
+		l := c.hopDelay(p.src, p.dst)
+		if c.Cfg.MigrationDowntime < l {
+			l = c.Cfg.MigrationDowntime
+		}
+		narrow(p.src, p.dst, l)
+	}
+	for k, l := range min {
+		c.Set.SetEdgeLookahead(k[0], k[1], l)
+	}
 }
 
 // Start dispatches every host and releases the initial workload: periodic
@@ -449,6 +522,9 @@ func (c *Sharded) Start() {
 		panic("cluster: Start called twice")
 	}
 	c.started = true
+	if !c.Cfg.GlobalWindows {
+		c.declareTopology()
+	}
 	for _, h := range c.Hosts {
 		h.Sys.Start()
 	}
@@ -505,11 +581,12 @@ func (a *hostAgent) request(now simtime.Time, ev sim.Payload) {
 		return
 	}
 	if tgt, ok := a.fwd[d.id]; ok {
-		// The VM moved: chase it with one more network hop. The payload
-		// is re-addressed verbatim, so demand and task index survive.
+		// The VM moved: chase it with one more network hop at the pair's
+		// link delay. The payload is re-addressed verbatim, so demand and
+		// task index survive.
 		a.Stats.Forwarded++
 		th := a.c.Hosts[tgt]
-		a.c.Hosts[a.host].Shard.PostRemote(th.Shard, now.Add(a.c.Cfg.Lookahead),
+		a.c.Hosts[a.host].Shard.PostRemote(th.Shard, now.Add(a.c.hopDelay(a.host, int(tgt))),
 			sim.Payload{Handler: th.agent.id, Kind: evAgentReq,
 				Owner: ev.Owner, Arg0: ev.Arg0, Arg1: ev.Arg1})
 		return

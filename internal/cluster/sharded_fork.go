@@ -18,6 +18,7 @@ func (c *Sharded) Fork() (*Sharded, *clone.Ctx, error) {
 	ctx := clone.New()
 	nc := &Sharded{
 		Cfg:        c.Cfg,
+		plans:      append([]migPlan(nil), c.plans...),
 		nextTaskID: c.nextTaskID,
 		started:    c.started,
 		byName:     make(map[string]*ShardedDeployment, len(c.byName)),

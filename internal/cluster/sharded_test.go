@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"rtvirt/internal/check"
@@ -58,8 +59,10 @@ func buildShardedWith(t *testing.T, mutate func(*ShardedConfig), firstMigAt simt
 			if err != nil {
 				t.Fatalf("deploy %s: %v", spec.Name, err)
 			}
+			// Heterogeneous link delays: every client edge gets its own
+			// latency, so the per-edge window bounds differ per host pair.
 			_, err = c.AddRemoteClient((h+1)%cfg.Hosts, d, 1,
-				cfg.Lookahead+simtime.Micros(int64(3*v)),
+				cfg.Lookahead+simtime.Micros(int64(3*v+150*h)),
 				dist.Uniform{Lo: simtime.Micros(400), Hi: simtime.Millis(2)},
 				dist.Uniform{Lo: simtime.Micros(60), Hi: simtime.Micros(180)}, 0)
 			if err != nil {
@@ -160,6 +163,56 @@ func TestShardedGroupInvariance(t *testing.T) {
 	}
 }
 
+// stripWindowCount removes the window counter from a cluster digest's
+// header line, leaving everything observable about the simulation itself.
+// Per-edge and global windowing legitimately differ only in how many
+// synchronization rounds they took.
+func stripWindowCount(t *testing.T, digest string) string {
+	t.Helper()
+	head, rest, ok := strings.Cut(digest, "\n")
+	if !ok {
+		t.Fatalf("malformed digest %q", digest)
+	}
+	fields := strings.Fields(head)
+	if len(fields) != 3 || !strings.HasPrefix(fields[1], "windows=") {
+		t.Fatalf("malformed digest header %q", head)
+	}
+	return fields[0] + " " + fields[2] + "\n" + rest
+}
+
+// TestShardedPerEdgeVsGlobalWindows runs the same heterogeneous world
+// once windowed on declared per-edge lookaheads (the default) and once on
+// the single global minimum (Cfg.GlobalWindows), and checks the two are
+// identical in every observable except the window count — which the
+// declared topology must cut substantially.
+func TestShardedPerEdgeVsGlobalWindows(t *testing.T) {
+	span := simtime.Millis(300)
+	run := func(global bool) *Sharded {
+		c := buildShardedWith(t, func(cfg *ShardedConfig) {
+			cfg.MigrationDowntime = simtime.Millis(10)
+			cfg.MigrationPerBW = simtime.Millis(5)
+			cfg.GlobalWindows = global
+		}, simtime.Time(0).Add(simtime.Millis(40)))
+		c.Start()
+		c.Run(span, 2)
+		c.Finish()
+		return c
+	}
+	perEdge, global := run(false), run(true)
+	pd, gd := perEdge.DigestString(), global.DigestString()
+	if stripWindowCount(t, pd) != stripWindowCount(t, gd) {
+		t.Errorf("windowing modes diverged beyond the window count:\n--- per-edge ---\n%s--- global ---\n%s", pd, gd)
+	}
+	pw, gw := perEdge.Set.Windows(), global.Set.Windows()
+	// The fixture's ring has one 19µs edge, so the bound still crawls
+	// there; 1.5× is what this topology honestly yields (the big ratios
+	// need genuinely slow links — see BENCH_7).
+	if pw*3 > gw*2 {
+		t.Errorf("per-edge windows %d vs global %d — want at least a 1.5× reduction", pw, gw)
+	}
+	t.Logf("windows: per-edge %d, global %d (%.1fx)", pw, gw, float64(gw)/float64(pw))
+}
+
 // TestShardedMigrationForwarding pins the traffic protocol around a live
 // migration: the source forwards late requests to the VM's new host, the
 // target drops requests that arrive mid-blackout, and the blackout total
@@ -228,6 +281,71 @@ func TestShardedMigrationForwarding(t *testing.T) {
 	if accounted > uint64(cl.Sent()) || uint64(cl.Sent())-accounted > 1 {
 		t.Errorf("request conservation: sent=%d accounted=%d", cl.Sent(), accounted)
 	}
+}
+
+// TestShardedLinkDelay pins the per-pair link-delay model: forwarded
+// requests pay LinkDelay(src, dst) instead of the global lookahead floor,
+// the run stays deterministic across executor groups, and a LinkDelay
+// returning less than the lookahead panics loudly (at Start, where
+// declareTopology first prices the migration edges).
+func TestShardedLinkDelay(t *testing.T) {
+	build := func(link func(int, int) simtime.Duration) (*Sharded, *ShardedDeployment) {
+		t.Helper()
+		cfg := DefaultShardedConfig()
+		cfg.Hosts = 2
+		cfg.MigrationDowntime = simtime.Millis(20)
+		cfg.MigrationPerBW = simtime.Millis(10)
+		cfg.LinkDelay = link
+		c := NewSharded(cfg)
+		d, err := c.Deploy(0, VMSpec{Name: "srv", VCPUs: 1, Tasks: []TaskSpec{
+			{Name: "req", Kind: task.Sporadic,
+				Params: task.Params{Slice: simtime.Micros(100), Period: simtime.Micros(500)}},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.AddRemoteClient(1, d, 0, simtime.Micros(400),
+			dist.Constant{D: simtime.Micros(200)}, nil, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.PlanMigration(simtime.Time(0).Add(simtime.Millis(50)), d, 1); err != nil {
+			t.Fatal(err)
+		}
+		return c, d
+	}
+
+	slow := func(src, dst int) simtime.Duration { return simtime.Micros(350) }
+	run := func(groups int) (*Sharded, *ShardedDeployment) {
+		c, d := build(slow)
+		c.Start()
+		c.Run(simtime.Millis(200), groups)
+		c.Finish()
+		return c, d
+	}
+	c1, d1 := run(1)
+	c2, _ := run(2)
+	if c1.DigestString() != c2.DigestString() {
+		t.Errorf("link-delay world diverged across groups:\n--- groups=1 ---\n%s--- groups=2 ---\n%s",
+			c1.DigestString(), c2.DigestString())
+	}
+	if d1.Migrations != 1 {
+		t.Fatalf("migration did not complete: %d", d1.Migrations)
+	}
+	if fwd := c1.Hosts[0].Agent().Forwarded; fwd == 0 {
+		t.Error("no request took the forwarding hop despite the steady client")
+	}
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("LinkDelay below the lookahead did not panic")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "below lookahead") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	c, _ := build(func(int, int) simtime.Duration { return simtime.Micros(1) })
+	c.Start()
 }
 
 // TestShardedConfigValidation covers the config rejections.

@@ -1,0 +1,110 @@
+package runner
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBarrierPoolRounds(t *testing.T) {
+	const workers = 3
+	const rounds = 2000
+	var counts [workers]atomic.Int64
+	bp := NewBarrierPool(workers, func(w int) {
+		counts[w].Add(1)
+	})
+	defer bp.Close()
+
+	local := 0
+	for r := 0; r < rounds; r++ {
+		bp.Round(func() { local++ })
+	}
+	if local != rounds {
+		t.Fatalf("local share ran %d times, want %d", local, rounds)
+	}
+	for w := range counts {
+		if got := counts[w].Load(); got != rounds {
+			t.Fatalf("worker %d ran %d rounds, want %d", w, got, rounds)
+		}
+	}
+}
+
+// TestBarrierPoolSharedState checks the happens-before edges the window
+// loop relies on: plain writes by the coordinator before Round are seen
+// by workers, and plain writes by workers are seen after Round returns.
+func TestBarrierPoolSharedState(t *testing.T) {
+	const workers = 4
+	in := make([]int, workers)
+	out := make([]int, workers)
+	bp := NewBarrierPool(workers, func(w int) {
+		out[w] = in[w] * 2
+	})
+	defer bp.Close()
+
+	for r := 1; r <= 500; r++ {
+		for w := range in {
+			in[w] = r + w
+		}
+		bp.Round(nil)
+		for w := range out {
+			if out[w] != 2*(r+w) {
+				t.Fatalf("round %d worker %d: out=%d want %d", r, w, out[w], 2*(r+w))
+			}
+		}
+	}
+}
+
+func TestBarrierPoolPanicLowestWorker(t *testing.T) {
+	bp := NewBarrierPool(3, func(w int) {
+		if w >= 1 {
+			panic("boom")
+		}
+	})
+	defer bp.Close()
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic was not re-raised")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "barrier worker 1 panicked") {
+			t.Fatalf("unexpected panic value %v, want lowest worker (1) reported", r)
+		}
+	}()
+	bp.Round(nil)
+}
+
+// A panic in the coordinator's local share must still join the workers
+// before propagating, so the pool stays reusable.
+func TestBarrierPoolLocalPanicJoins(t *testing.T) {
+	var ran atomic.Int64
+	bp := NewBarrierPool(2, func(w int) { ran.Add(1) })
+	defer bp.Close()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("local panic swallowed")
+			}
+		}()
+		bp.Round(func() { panic("local") })
+	}()
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("workers ran %d shares before local panic propagated, want 2", got)
+	}
+	// The pool must still work after the panic round.
+	bp.Round(nil)
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("workers ran %d shares after reuse, want 4", got)
+	}
+}
+
+func TestBarrierPoolSizeFloor(t *testing.T) {
+	bp := NewBarrierPool(0, func(w int) {})
+	defer bp.Close()
+	if bp.Size() != 1 {
+		t.Fatalf("Size()=%d, want 1 for n<1", bp.Size())
+	}
+	bp.Round(nil)
+}

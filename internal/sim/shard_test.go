@@ -47,7 +47,7 @@ func (p *pinger) HandleSimEvent(now simtime.Time, ev Payload) {
 		for to == p.sh {
 			to = p.peers[rng.Intn(len(p.peers))]
 		}
-		delay := p.sh.set.Lookahead() + simtime.Duration(rng.Int63n(int64(simtime.Micros(40))))
+		delay := p.sh.set.EdgeLookahead(p.sh.ID(), to.ID()) + simtime.Duration(rng.Int63n(int64(simtime.Micros(40))))
 		// Every shard registers exactly one pinger, so the peer's handler
 		// ID is 0 on every simulator.
 		p.sh.PostRemote(to, now.Add(delay), Payload{
