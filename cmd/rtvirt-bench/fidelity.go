@@ -1,0 +1,34 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"rtvirt"
+)
+
+// runFidelity runs the constant-vs-calibrated cost-model ablation and
+// records it as a benchmark artifact (BENCH_8.json by default): the same
+// Figure-3 and Table-6 scheduler comparisons under the paper's flat §4
+// constants and under the distribution-valued calibrated model, with a
+// per-row verdict on whether the winner survives the cost noise.
+func runFidelity(seed uint64, secs int64, parallel int, outPath string) {
+	cfg := rtvirt.DefaultFidelityConfig()
+	cfg.Seed = seed
+	cfg.Duration = secondsOr(secs, cfg.Duration)
+	cfg.Parallel = parallel
+	res := rtvirt.FidelityAblation(cfg)
+	fmt.Println(rtvirt.RenderFidelity(res))
+
+	buf, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}

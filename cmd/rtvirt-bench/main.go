@@ -34,20 +34,21 @@ var out *report.Dir
 
 func main() {
 	var (
-		exp        = flag.String("experiment", "all", "which experiment to run (fig1, table1, table2, fig3, sporadic, table3, fig4, table4, fig5a, fig5b, table5, table6, ablations, quickcheck, all)")
-		seed       = flag.Uint64("seed", 1, "simulation seed")
-		seconds    = flag.Int64("seconds", 0, "override run length in simulated seconds (0 = per-experiment default)")
-		outDir     = flag.String("out", "", "write machine-readable artifacts (CSV/JSON) to this directory")
-		runs       = flag.Int("runs", 5, "seeds for -experiment robustness")
-		n          = flag.Int("n", 25, "generated scenarios for -experiment quickcheck")
-		parallel   = flag.Int("parallel", 0, "workers for independent simulations (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
-		kernel     = flag.Bool("kernel", false, "benchmark the event-queue kernel (wheel vs heap, both vs the recorded pre-rewrite baseline) and exit")
-		benchOut   = flag.String("bench-out", "BENCH_5.json", "output path for the -kernel comparison report")
-		forkWarmup = flag.Bool("fork-warmup", false, "benchmark the fig5 warm-start fork sweep against its cold control and exit")
-		forkOut    = flag.String("fork-out", "BENCH_4.json", "output path for the -fork-warmup comparison report")
-		pdes       = flag.Bool("pdes", false, "benchmark the sharded conservative-PDES cluster (executor groups 1/2/4/8 on both eventq backends, per-edge vs global windows, digest identity enforced) and exit")
-		pdesOut    = flag.String("pdes-out", "BENCH_7.json", "output path for the -pdes lookahead/topology report")
-		pdesHosts  = flag.Int("pdes-hosts", 64, "hosts (= shards) for the -pdes sweep")
+		exp         = flag.String("experiment", "all", "which experiment to run (fig1, table1, table2, fig3, sporadic, table3, fig4, table4, fig5a, fig5b, table5, table6, ablations, fidelity, quickcheck, all)")
+		seed        = flag.Uint64("seed", 1, "simulation seed")
+		seconds     = flag.Int64("seconds", 0, "override run length in simulated seconds (0 = per-experiment default)")
+		outDir      = flag.String("out", "", "write machine-readable artifacts (CSV/JSON) to this directory")
+		runs        = flag.Int("runs", 5, "seeds for -experiment robustness")
+		n           = flag.Int("n", 25, "generated scenarios for -experiment quickcheck")
+		parallel    = flag.Int("parallel", 0, "workers for independent simulations (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
+		kernel      = flag.Bool("kernel", false, "benchmark the event-queue kernel (wheel vs heap, both vs the recorded pre-rewrite baseline) and exit")
+		benchOut    = flag.String("bench-out", "BENCH_5.json", "output path for the -kernel comparison report")
+		forkWarmup  = flag.Bool("fork-warmup", false, "benchmark the fig5 warm-start fork sweep against its cold control and exit")
+		forkOut     = flag.String("fork-out", "BENCH_4.json", "output path for the -fork-warmup comparison report")
+		pdes        = flag.Bool("pdes", false, "benchmark the sharded conservative-PDES cluster (executor groups 1/2/4/8 on both eventq backends, per-edge vs global windows, digest identity enforced) and exit")
+		pdesOut     = flag.String("pdes-out", "BENCH_7.json", "output path for the -pdes lookahead/topology report")
+		pdesHosts   = flag.Int("pdes-hosts", 64, "hosts (= shards) for the -pdes sweep")
+		fidelityOut = flag.String("fidelity-out", "BENCH_8.json", "output path for the -experiment fidelity ablation record")
 	)
 	flag.Parse()
 	runner.SetDefault(*parallel)
@@ -100,11 +101,12 @@ func main() {
 		"loadsteps":  func() { runLoadSteps(*seed, *seconds) },
 		"bisect":     func() { runBisect(*seed, *seconds) },
 		"robustness": func() { runRobustness(*runs, *seconds) },
+		"fidelity":   func() { runFidelity(*seed, *seconds, *parallel, *fidelityOut) },
 		"quickcheck": func() { runQuickcheck(*seed, *n, *seconds) },
 	}
 	order := []string{"fig1", "table1", "table2", "fig3", "sporadic", "table3",
 		"fig4", "table4", "fig5a", "fig5b", "table5", "table6", "ablations", "io",
-		"surge", "loadsteps", "bisect", "robustness", "quickcheck"}
+		"surge", "loadsteps", "bisect", "robustness", "fidelity", "quickcheck"}
 
 	name := strings.ToLower(*exp)
 	if name == "all" {

@@ -35,6 +35,9 @@ func Generate(rng *rand.Rand) scenario.Scenario {
 	used := 0.0
 
 	sc := scenario.Scenario{PCPUs: pcpus}
+	if rng.Intn(2) == 0 {
+		sc.Costs = genCosts(rng)
+	}
 	nVMs := 1 + rng.Intn(maxVMs)
 	for v := 0; v < nVMs; v++ {
 		vm := scenario.VM{Name: fmt.Sprintf("vm%d", v)}
@@ -95,9 +98,81 @@ func Generate(rng *rand.Rand) scenario.Scenario {
 		if rng.Float64() < 0.25 {
 			vm.Tasks = append(vm.Tasks, scenario.TaskSpec{Name: "bg", Kind: "background"})
 		}
+		if rng.Intn(4) == 0 {
+			// Declared working set scales cross-PCPU migration cost through
+			// the model's migration_per_mib term.
+			vm.WorkingSetMiB = rng.Intn(513)
+		}
 		sc.VMs = append(sc.VMs, vm)
 	}
 	return sc
+}
+
+// fp boxes a float64 for the pointer-valued spec fields.
+func fp(v float64) *float64 { return &v }
+
+// genCostSpec draws one cost term centred on scaleUS microseconds, in a
+// random distribution form. Tails are capped at hiCapUS so generated
+// worlds stay near the default cost magnitudes: the oracles assume total
+// charged overhead stays far below the per-VCPU budget slack.
+func genCostSpec(rng *rand.Rand, scaleUS, hiCapUS float64) *scenario.CostSpec {
+	switch rng.Intn(5) {
+	case 0:
+		return &scenario.CostSpec{Const: fp(scaleUS * (0.5 + rng.Float64()))}
+	case 1:
+		return &scenario.CostSpec{Uniform: &scenario.UniformSpec{
+			LoUS: 0.5 * scaleUS, HiUS: 1.5 * scaleUS}}
+	case 2:
+		return &scenario.CostSpec{Normal: &scenario.NormalSpec{
+			MeanUS: scaleUS, StddevUS: 0.25 * scaleUS, MinUS: 0.1 * scaleUS}}
+	case 3:
+		return &scenario.CostSpec{LogNormal: &scenario.LogNormalSpec{
+			MeanUS: scaleUS, Sigma: 0.3 + 0.3*rng.Float64()}}
+	default:
+		hi := 10 * scaleUS
+		if hi > hiCapUS {
+			hi = hiCapUS
+		}
+		return &scenario.CostSpec{Pareto: &scenario.ParetoSpec{
+			LoUS: 0.5 * scaleUS, HiUS: hi, Alpha: 1.8 + rng.Float64()}}
+	}
+}
+
+// genCosts draws a random per-cause costs block (or nil). Magnitudes track
+// the §4 defaults — the point is exercising the distribution-valued charge
+// paths and their determinism contracts, not overloading the host.
+func genCosts(rng *rand.Rand) *scenario.CostsSpec {
+	c := &scenario.CostsSpec{}
+	any := false
+	if rng.Intn(2) == 0 {
+		c.Hypercall = genCostSpec(rng, 10, 50)
+		any = true
+	}
+	if rng.Intn(2) == 0 {
+		c.CtxSwitchWarm = genCostSpec(rng, 1, 10)
+		c.CtxSwitchCold = genCostSpec(rng, 2, 50)
+		any = true
+	}
+	if rng.Intn(2) == 0 {
+		c.Migration = genCostSpec(rng, 3, 50)
+		any = true
+	}
+	if rng.Intn(3) == 0 {
+		c.MigrationPerMiB = &scenario.CostSpec{Const: fp(0.05 * rng.Float64())}
+		any = true
+	}
+	if rng.Intn(2) == 0 {
+		c.ScheduleBase = genCostSpec(rng, 1, 10)
+		any = true
+	}
+	if rng.Intn(3) == 0 {
+		c.GuestSwitch = genCostSpec(rng, 1, 10)
+		any = true
+	}
+	if !any {
+		return nil
+	}
+	return c
 }
 
 // NeverMiss lists the "vm/task" keys §3.2's guarantee covers in sc:

@@ -59,6 +59,12 @@ func buildPDES(sc scenario.Scenario, seed uint64) (*cluster.Sharded, error) {
 	cfg.Seed = seed
 	cfg.MigrationDowntime = simtime.Millis(5)
 	cfg.MigrationPerBW = simtime.Millis(2)
+	if sc.Costs != nil {
+		// Thread generated cost overrides (including distribution-valued
+		// terms) into every shard; per-shard cost streams derive from the
+		// shard seed, so group-count invariance still holds.
+		cfg.System.Costs = sc.Costs.CostModel()
+	}
 	c := cluster.NewSharded(cfg)
 	total := simtime.Duration(sc.Seconds) * simtime.Second
 	for h := 0; h < cfg.Hosts; h++ {

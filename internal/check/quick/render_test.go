@@ -13,8 +13,11 @@ import (
 // an oracle — review it like a golden-number change.
 func TestRenderGoldenPass(t *testing.T) {
 	got := Run(Config{Seed: 1, N: 5, Backends: AllBackends}).Render()
+	// Seed 1's case 1 packs a 1-PCPU host past dpwrap admission once the
+	// slack rides on top (bandwidth 1.206 > 1.0), so its two RTVirt runs
+	// skip — the harness records rejected builds rather than failing them.
 	want := "quickcheck: 5 cases x 4 stacks x 2 queue backends + pdes identity x 3 group counts (seed 1)\n" +
-		"runs 50, skipped 0 (admission-rejected builds), failures 0\n" +
+		"runs 50, skipped 2 (admission-rejected builds), failures 0\n" +
 		"PASS: every invariant held in every run"
 	if got != want {
 		t.Errorf("summary drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)

@@ -106,10 +106,75 @@ func reductions(sc scenario.Scenario) []scenario.Scenario {
 		c.Seconds /= 2
 		out = append(out, c)
 	}
+	out = append(out, costReductions(sc)...)
 	return out
 }
 
-// cloneScenario deep-copies the slices reductions mutate.
+// costReductions minimizes the platform-cost overrides: drop the whole
+// block, drop one term, collapse a distribution-valued term to a constant
+// (removing the repro's dependence on the cost RNG stream), or zero a VM's
+// declared working set.
+func costReductions(sc scenario.Scenario) []scenario.Scenario {
+	var out []scenario.Scenario
+	if sc.Costs != nil {
+		c := cloneScenario(sc)
+		c.Costs = nil
+		out = append(out, c)
+		for i, f := range costFields(sc.Costs) {
+			if *f == nil {
+				continue
+			}
+			c := cloneScenario(sc)
+			*costFields(c.Costs)[i] = nil
+			out = append(out, c)
+		}
+		for i, f := range costFields(sc.Costs) {
+			if *f == nil || (*f).Const != nil {
+				continue
+			}
+			c := cloneScenario(sc)
+			*costFields(c.Costs)[i] = &scenario.CostSpec{Const: fp(constifyUS(*f))}
+			out = append(out, c)
+		}
+	}
+	for i, vm := range sc.VMs {
+		if vm.WorkingSetMiB > 0 {
+			c := cloneScenario(sc)
+			c.VMs[i].WorkingSetMiB = 0
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// costFields enumerates the addressable CostSpec slots of a costs block.
+func costFields(c *scenario.CostsSpec) []**scenario.CostSpec {
+	return []**scenario.CostSpec{
+		&c.ContextSwitch, &c.CtxSwitchWarm, &c.CtxSwitchCold,
+		&c.Hypercall, &c.HypercallIncBW, &c.HypercallDecBW, &c.HypercallIncDecBW,
+		&c.Migration, &c.MigrationPerMiB,
+		&c.ScheduleBase, &c.SchedulePerEntity, &c.GuestSwitch, &c.Tick,
+	}
+}
+
+// constifyUS picks a representative constant (µs) for a distribution-form
+// spec. Any valid stand-in works for shrinking; exactness is not required.
+func constifyUS(s *scenario.CostSpec) float64 {
+	switch {
+	case s.Uniform != nil:
+		return (s.Uniform.LoUS + s.Uniform.HiUS) / 2
+	case s.Normal != nil:
+		return s.Normal.MeanUS
+	case s.LogNormal != nil:
+		return s.LogNormal.MeanUS
+	case s.Pareto != nil:
+		return (s.Pareto.LoUS + s.Pareto.HiUS) / 2
+	default:
+		return 0
+	}
+}
+
+// cloneScenario deep-copies the slices and cost block reductions mutate.
 func cloneScenario(sc scenario.Scenario) scenario.Scenario {
 	c := sc
 	c.VMs = make([]scenario.VM, len(sc.VMs))
@@ -118,6 +183,10 @@ func cloneScenario(sc scenario.Scenario) scenario.Scenario {
 		cv.Servers = append([]scenario.ServerSpec(nil), vm.Servers...)
 		cv.Tasks = append([]scenario.TaskSpec(nil), vm.Tasks...)
 		c.VMs[i] = cv
+	}
+	if sc.Costs != nil {
+		cc := *sc.Costs
+		c.Costs = &cc
 	}
 	return c
 }

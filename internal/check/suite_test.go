@@ -132,3 +132,42 @@ func TestForkIdentityClean(t *testing.T) {
 		t.Errorf("violation: %v", v)
 	}
 }
+
+// TestForkIdentityNoisyCosts re-runs the fork bit-identity oracle with
+// every distribution form of the cost model armed (via the scenario costs
+// block, so the codec path is under test too). The cost stream is cloned
+// by Fork, so noisy costs must not break replay identity.
+func TestForkIdentityNoisyCosts(t *testing.T) {
+	fp := func(v float64) *float64 { return &v }
+	sc := mixedScenario("rtvirt")
+	sc.Costs = &scenario.CostsSpec{
+		Hypercall:       &scenario.CostSpec{LogNormal: &scenario.LogNormalSpec{MeanUS: 10, Sigma: 0.45}},
+		CtxSwitchWarm:   &scenario.CostSpec{Normal: &scenario.NormalSpec{MeanUS: 1, StddevUS: 0.2, MinUS: 0.2}},
+		CtxSwitchCold:   &scenario.CostSpec{Pareto: &scenario.ParetoSpec{LoUS: 2, HiUS: 50, Alpha: 2.2}},
+		Migration:       &scenario.CostSpec{Pareto: &scenario.ParetoSpec{LoUS: 3, HiUS: 80, Alpha: 1.8}},
+		ScheduleBase:    &scenario.CostSpec{Uniform: &scenario.UniformSpec{LoUS: 0.5, HiUS: 1.5}},
+		GuestSwitch:     &scenario.CostSpec{Normal: &scenario.NormalSpec{MeanUS: 1, StddevUS: 0.3, MinUS: 0.1}},
+		MigrationPerMiB: &scenario.CostSpec{Const: fp(0.12)},
+	}
+	sc.VMs[1].WorkingSetMiB = 256
+	var suite *check.Suite
+	w, err := scenario.Build(sc, scenario.Options{
+		OnSystem: func(sys *core.System) { suite = check.Attach(sys, check.Opts{}) },
+	})
+	if err != nil {
+		t.Fatalf("scenario.Build: %v", err)
+	}
+	w.Start()
+	w.Sys.Run(simtime.Second)
+	v, err := check.ForkIdentity(w.Sys, simtime.Second)
+	if err != nil {
+		t.Fatalf("ForkIdentity: %v", err)
+	}
+	if v != nil {
+		t.Fatalf("fork diverged under noisy costs: %v", v)
+	}
+	w.Sys.Host.Sync()
+	for _, v := range suite.Finish() {
+		t.Errorf("violation: %v", v)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"rtvirt/internal/check"
 	"rtvirt/internal/dist"
 	"rtvirt/internal/eventq"
+	"rtvirt/internal/hv"
 	"rtvirt/internal/sim"
 	"rtvirt/internal/simtime"
 	"rtvirt/internal/task"
@@ -160,6 +161,39 @@ func TestShardedGroupInvariance(t *testing.T) {
 	if len(crossBackend) == 2 && crossBackend[0] != crossBackend[1] {
 		t.Errorf("heap and wheel backends disagree:\n--- heap ---\n%s--- wheel ---\n%s",
 			crossBackend[0], crossBackend[1])
+	}
+}
+
+// TestShardedGroupInvarianceNoisyCosts re-runs the group-invariance
+// golden under the distribution-valued calibrated cost model. Each shard
+// derives its own cost stream from its own simulator seed (never from the
+// shared main stream), so enabling noise must preserve digest identity
+// across executor group counts — and the noisy world must actually differ
+// from the constant-cost world, or the test is vacuous.
+func TestShardedGroupInvarianceNoisyCosts(t *testing.T) {
+	span := simtime.Millis(200)
+	run := func(groups int, noisy bool) string {
+		c := buildShardedWith(t, func(cfg *ShardedConfig) {
+			cfg.MigrationDowntime = simtime.Millis(10)
+			cfg.MigrationPerBW = simtime.Millis(5)
+			if noisy {
+				cfg.System.Costs = hv.CalibratedCosts()
+			}
+		}, simtime.Time(0).Add(simtime.Millis(40)))
+		c.Start()
+		c.Run(span, groups)
+		c.Finish()
+		return c.DigestString()
+	}
+	base := run(1, true)
+	for _, g := range []int{2, 4, 8} {
+		if got := run(g, true); got != base {
+			t.Errorf("groups=%d digest differs under calibrated costs:\n--- groups=1 ---\n%s--- groups=%d ---\n%s",
+				g, base, g, got)
+		}
+	}
+	if run(1, false) == base {
+		t.Error("calibrated-cost digest matches constant-cost digest — noise not applied")
 	}
 }
 

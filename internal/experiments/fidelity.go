@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rtvirt/internal/hv"
+	"rtvirt/internal/metrics"
+	"rtvirt/internal/simtime"
+)
+
+// The fidelity ablation re-runs the headline scheduler comparisons —
+// Figure 3's per-group miss ratios and Table 6's overhead scaling — under
+// two platform cost models: the paper's flat §4 constants
+// (hv.DefaultCosts) and the distribution-valued, per-cause calibrated
+// model (hv.CalibratedCosts). Following Mhatre & Chandran's observation
+// that hypervisor costs are heavy-tailed and cause-dependent, and the
+// RT-Xen line's observation that scheduler rankings can flip under
+// realistic overhead noise, the point of the ablation is not the absolute
+// numbers but which RTVirt-vs-RT-Xen comparisons survive the noise: each
+// row reports the metric under both models and whether the winner is
+// robust.
+
+// FidelityConfig tunes the constant-vs-calibrated ablation.
+type FidelityConfig struct {
+	Seed uint64
+	// Duration is the per-simulation run length (Figure 3 uses 100s in the
+	// paper; the default keeps the 2×(12+2) simulation grid affordable).
+	Duration simtime.Duration
+	PCPUs    int
+	// Requests is the sporadic request count for Figure 3's variant runs
+	// (unused by the periodic groups; kept for parity with Figure3Config).
+	Requests int
+	// Parallel is the worker count each sub-experiment fans out on.
+	Parallel int
+}
+
+// DefaultFidelityConfig mirrors the §4 setups at a practical run length.
+func DefaultFidelityConfig() FidelityConfig {
+	return FidelityConfig{Seed: 1, Duration: simtime.Seconds(10), PCPUs: 15, Requests: 100}
+}
+
+// FidelityRow is one scheduler comparison under both cost models. Lower is
+// better for every metric (miss ratio, overhead percent), so the winner is
+// whichever framework's value is smaller.
+type FidelityRow struct {
+	// Metric names the compared quantity, e.g. "Fig3 NH-Dec miss %".
+	Metric string `json:"metric"`
+	// Constant/Calibrated hold the (RTVirt, RT-Xen) pair under each model.
+	ConstRTVirt float64 `json:"const_rtvirt"`
+	ConstRTXen  float64 `json:"const_rtxen"`
+	CalibRTVirt float64 `json:"calib_rtvirt"`
+	CalibRTXen  float64 `json:"calib_rtxen"`
+	// Robust reports whether the winner (or tie) is the same under both
+	// models — i.e. the comparison does not hinge on the flat-constant
+	// idealization.
+	Robust bool `json:"robust"`
+}
+
+// winner reports which side of the comparison is smaller: -1 for a, +1 for
+// b, 0 for a tie.
+func winner(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case b < a:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func makeRow(metric string, cv, cx, kv, kx float64) FidelityRow {
+	return FidelityRow{
+		Metric:      metric,
+		ConstRTVirt: cv, ConstRTXen: cx,
+		CalibRTVirt: kv, CalibRTXen: kx,
+		Robust: winner(cv, cx) == winner(kv, kx),
+	}
+}
+
+// FidelityResult is the full ablation: every compared metric plus the raw
+// sub-experiment outputs for deeper digging (and BENCH_8.json).
+type FidelityResult struct {
+	Seed    uint64            `json:"seed"`
+	Seconds float64           `json:"seconds"`
+	PCPUs   int               `json:"pcpus"`
+	Rows    []FidelityRow     `json:"rows"`
+	Fig3    [2][]Figure3Row   `json:"-"`
+	Table6  [2][]Table6Row    `json:"-"`
+	Calib   map[string]string `json:"calibrated_model"`
+}
+
+// FidelityAblation runs Figure 3 and Table 6 (multi-RTA scenario) under
+// the constant and calibrated cost models and compares the framework
+// rankings. The two models share every seed and workload; only the cost
+// draws differ, and those come from the dedicated per-host cost stream, so
+// differences are attributable to cost noise alone.
+func FidelityAblation(cfg FidelityConfig) FidelityResult {
+	calib := hv.CalibratedCosts()
+	res := FidelityResult{
+		Seed:    cfg.Seed,
+		Seconds: float64(cfg.Duration) / float64(simtime.Second),
+		PCPUs:   cfg.PCPUs,
+		Calib:   describeModel(&calib),
+	}
+
+	f3 := Figure3Config{Seed: cfg.Seed, Duration: cfg.Duration, PCPUs: cfg.PCPUs,
+		Requests: cfg.Requests, Parallel: cfg.Parallel}
+	res.Fig3[0] = Figure3(f3)
+	f3.Costs = &calib
+	res.Fig3[1] = Figure3(f3)
+	for i, c := range res.Fig3[0] {
+		k := res.Fig3[1][i]
+		res.Rows = append(res.Rows, makeRow(
+			fmt.Sprintf("Fig3 %s miss %%", c.Group),
+			100*c.RTVirtMisses.Ratio(), 100*c.RTXenMisses.Ratio(),
+			100*k.RTVirtMisses.Ratio(), 100*k.RTXenMisses.Ratio()))
+	}
+
+	t6 := Table6Config{Seed: cfg.Seed, Duration: cfg.Duration, PCPUs: cfg.PCPUs,
+		Parallel: cfg.Parallel}
+	res.Table6[0] = Table6(MultiRTAVMs, t6)
+	t6.Costs = &calib
+	res.Table6[1] = Table6(MultiRTAVMs, t6)
+	cv, cx := res.Table6[0][0], res.Table6[0][1]
+	kv, kx := res.Table6[1][0], res.Table6[1][1]
+	res.Rows = append(res.Rows,
+		makeRow("Table6 multi-RTA overhead %",
+			cv.OverheadPct, cx.OverheadPct, kv.OverheadPct, kx.OverheadPct),
+		makeRow("Table6 multi-RTA miss %",
+			100*cv.Misses.Ratio(), 100*cx.Misses.Ratio(),
+			100*kv.Misses.Ratio(), 100*kx.Misses.Ratio()),
+		// Admission counts: higher is better, so negate for the shared
+		// lower-is-better winner rule.
+		makeRow("Table6 multi-RTA RTAs admitted (negated)",
+			-float64(cv.RTAsAdmitted), -float64(cx.RTAsAdmitted),
+			-float64(kv.RTAsAdmitted), -float64(kx.RTAsAdmitted)),
+	)
+	return res
+}
+
+// describeModel renders each calibrated term for the JSON record, so a
+// benchmark file pins the exact distributions it was produced under.
+func describeModel(m *hv.CostModel) map[string]string {
+	return map[string]string{
+		"hypercall_inc_bw":     m.HypercallIncBW.String(),
+		"hypercall_dec_bw":     m.HypercallDecBW.String(),
+		"hypercall_inc_dec_bw": m.HypercallIncDecBW.String(),
+		"ctx_switch_warm":      m.CtxSwitchWarm.String(),
+		"ctx_switch_cold":      m.CtxSwitchCold.String(),
+		"migration":            m.Migration.String(),
+		"migration_per_mib":    m.MigrationPerMiB.String(),
+		"schedule_base":        m.ScheduleBase.String(),
+		"schedule_per_entity":  m.SchedulePerEntity.String(),
+		"guest_switch":         m.GuestSwitch.String(),
+		"tick":                 m.Tick.String(),
+	}
+}
+
+// RenderFidelity formats the ablation like the paper's tables: one row per
+// compared metric, constant and calibrated values side by side, and a
+// verdict column.
+func RenderFidelity(res FidelityResult) string {
+	t := metrics.NewTable("Metric", "const RTVirt", "const RT-Xen",
+		"calib RTVirt", "calib RT-Xen", "verdict")
+	robust := 0
+	for _, r := range res.Rows {
+		verdict := "FLIPS"
+		if r.Robust {
+			verdict = "robust"
+			robust++
+		}
+		t.AddRow(r.Metric,
+			fmt.Sprintf("%.3f", r.ConstRTVirt), fmt.Sprintf("%.3f", r.ConstRTXen),
+			fmt.Sprintf("%.3f", r.CalibRTVirt), fmt.Sprintf("%.3f", r.CalibRTXen),
+			verdict)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fidelity ablation — constant vs calibrated cost model (seed %d, %gs, %d PCPUs)\n",
+		res.Seed, res.Seconds, res.PCPUs)
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "%d/%d scheduler comparisons robust to cost noise\n", robust, len(res.Rows))
+	return b.String()
+}

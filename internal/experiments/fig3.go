@@ -47,6 +47,10 @@ type Figure3Config struct {
 	// Parallel is the worker count for the group × framework fan-out;
 	// <= 0 uses runner.Default(). Results are identical at any setting.
 	Parallel int
+	// Costs overrides the platform cost model (nil = hv.DefaultCosts, the
+	// paper's flat §4 constants). The fidelity ablation passes
+	// hv.CalibratedCosts here.
+	Costs *hv.CostModel
 }
 
 // DefaultFigure3Config mirrors §4.2.
@@ -157,6 +161,9 @@ func newSys(stack core.Stack, cfg Figure3Config) *core.System {
 	c := core.DefaultConfig(stack)
 	c.PCPUs = cfg.PCPUs
 	c.Seed = cfg.Seed
+	if cfg.Costs != nil {
+		c.Costs = *cfg.Costs
+	}
 	return core.NewSystem(c)
 }
 

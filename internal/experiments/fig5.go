@@ -56,11 +56,11 @@ func costsFor(arm Arm) hv.CostModel {
 	c := hv.DefaultCosts()
 	switch arm {
 	case ArmCredit:
-		c.ScheduleBase = simtime.Micros(30)
-		c.ContextSwitch = simtime.Micros(30)
+		c.ScheduleBase = hv.ConstCost(simtime.Micros(30))
+		c.SetContextSwitch(hv.ConstCost(simtime.Micros(30)))
 	case ArmRTXenA, ArmRTXenB:
-		c.ScheduleBase = simtime.Micros(3)
-		c.ContextSwitch = simtime.Micros(4)
+		c.ScheduleBase = hv.ConstCost(simtime.Micros(3))
+		c.SetContextSwitch(hv.ConstCost(simtime.Micros(4)))
 	default: // RTVirt: event-driven minimal path (DefaultCosts)
 	}
 	return c

@@ -62,6 +62,10 @@ type Table6Config struct {
 	// Parallel is the worker count for the two framework arms; <= 0 uses
 	// runner.Default(). Results are identical at any setting.
 	Parallel int
+	// Costs overrides the platform cost model (nil = hv.DefaultCosts, the
+	// paper's flat §4 constants). The fidelity ablation passes
+	// hv.CalibratedCosts here.
+	Costs *hv.CostModel
 }
 
 // DefaultTable6Config mirrors §4.5 (15 PCPUs; the paper's run length is
@@ -85,6 +89,9 @@ func table6RTVirt(scenario Table6Scenario, cfg Table6Config) Table6Row {
 	sysCfg := core.DefaultConfig(core.RTVirt)
 	sysCfg.PCPUs = cfg.PCPUs
 	sysCfg.Seed = cfg.Seed
+	if cfg.Costs != nil {
+		sysCfg.Costs = *cfg.Costs
+	}
 	sys := core.NewSystem(sysCfg)
 
 	row := Table6Row{Scenario: scenario, Framework: "RTVirt"}
@@ -144,6 +151,9 @@ func table6RTXen(scenario Table6Scenario, cfg Table6Config) Table6Row {
 	sysCfg := core.DefaultConfig(core.RTXen)
 	sysCfg.PCPUs = cfg.PCPUs
 	sysCfg.Seed = cfg.Seed
+	if cfg.Costs != nil {
+		sysCfg.Costs = *cfg.Costs
+	}
 	sys := core.NewSystem(sysCfg)
 
 	row := Table6Row{Scenario: scenario, Framework: "RT-Xen"}

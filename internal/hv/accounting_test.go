@@ -47,7 +47,7 @@ func (s *migrSched) Schedule(p *PCPU, now simtime.Time) Decision {
 }
 
 func TestMigrationAccounting(t *testing.T) {
-	s, h := simAndHost(t, 2, CostModel{Migration: simtime.Micros(5)})
+	s, h := simAndHost(t, 2, CostModel{Migration: ConstCost(simtime.Micros(5))})
 	g := newFifoGuest(h)
 	vm := h.NewVM("vm0", g)
 	v, err := vm.AddVCPU(true, Reservation{}, 0)
@@ -81,7 +81,9 @@ func newSim() *sim.Simulator { return sim.New(1) }
 func TestHypercallCostChargedToRunningVCPU(t *testing.T) {
 	s := newSim()
 	sched := &fifoSched{quantum: simtime.Millis(10)}
-	h := NewHost(s, 1, sched, CostModel{Hypercall: simtime.Micros(10)})
+	var costs CostModel
+	costs.SetHypercall(ConstCost(simtime.Micros(10)))
+	h := NewHost(s, 1, sched, costs)
 	g := newFifoGuest(h)
 	vm := h.NewVM("vm0", g)
 	v, _ := vm.AddVCPU(true, Reservation{}, 0)
@@ -169,7 +171,7 @@ func TestSyncIsIdempotentAndExact(t *testing.T) {
 func TestVCPURecheckSwitchesJobs(t *testing.T) {
 	s := newSim()
 	sched := &fifoSched{quantum: simtime.Millis(100)}
-	costs := CostModel{GuestSwitch: simtime.Micros(3)}
+	costs := CostModel{GuestSwitch: ConstCost(simtime.Micros(3))}
 	h := NewHost(s, 1, sched, costs)
 	g := newFifoGuest(h)
 	vm := h.NewVM("vm0", g)

@@ -92,12 +92,11 @@ func TestQuickKernelConservation(t *testing.T) {
 		rng := sim.NewRNG(seed)
 		s := sim.New(seed)
 		pcpus := 1 + rng.Intn(3)
-		costs := CostModel{
-			ScheduleBase:  simtime.Duration(rng.Int63n(3000)),
-			ContextSwitch: simtime.Duration(rng.Int63n(5000)),
-			Migration:     simtime.Duration(rng.Int63n(5000)),
-			GuestSwitch:   simtime.Duration(rng.Int63n(2000)),
-		}
+		var costs CostModel
+		costs.ScheduleBase = ConstCost(simtime.Duration(rng.Int63n(3000)))
+		costs.SetContextSwitch(ConstCost(simtime.Duration(rng.Int63n(5000))))
+		costs.Migration = ConstCost(simtime.Duration(rng.Int63n(5000)))
+		costs.GuestSwitch = ConstCost(simtime.Duration(rng.Int63n(2000)))
 		sched := &chaosSched{rng: rng.Split()}
 		h := NewHost(s, pcpus, sched, costs)
 		g := &chaosGuest{h: h, rng: rng.Split(), queues: map[*VCPU][]*task.Job{}}

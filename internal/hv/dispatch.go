@@ -122,9 +122,10 @@ func (h *Host) continueVCPU(p *PCPU, now simtime.Time) {
 		return
 	}
 	if j != v.curJob {
+		cost := h.Costs.GuestSwitch.Sample(h.costRNG)
 		h.Overhead.GuestSwitches++
-		h.Overhead.GuestSwitchTime += h.Costs.GuestSwitch
-		p.chargeOverhead(now, h.Costs.GuestSwitch)
+		h.Overhead.GuestSwitchTime += cost
+		p.chargeOverhead(now, cost)
 		h.emitGuestSwitch(v, j, now)
 	}
 	v.curJob = j
@@ -151,7 +152,7 @@ func (h *Host) dispatch(p *PCPU, now simtime.Time) {
 			panic(fmt.Sprintf("hv: scheduler %q livelocked dispatching %v", h.sched.Name(), p))
 		}
 		dec := h.sched.Schedule(p, now)
-		cost := h.Costs.ScheduleBase + simtime.Duration(dec.Work)*h.Costs.SchedulePerEntity
+		cost := h.ScheduleCost(dec.Work)
 		h.Overhead.ScheduleCalls++
 		h.Overhead.ScheduleTime += cost
 		p.chargeOverhead(now, cost)
@@ -183,18 +184,22 @@ func (h *Host) dispatch(p *PCPU, now simtime.Time) {
 					h.sched.VCPUIdle(old, now)
 				}
 			}
+			// Warm vs cold keys off the incoming VCPU's LastPCPU, read
+			// before the dispatch below overwrites it.
+			swCost := h.ctxSwitchCost(p, dec.VCPU)
 			h.Overhead.CtxSwitches++
-			h.Overhead.CtxSwitchTime += h.Costs.ContextSwitch
-			p.chargeOverhead(now, h.Costs.ContextSwitch)
+			h.Overhead.CtxSwitchTime += swCost
+			p.chargeOverhead(now, swCost)
 			if nv := dec.VCPU; nv != nil {
 				hs := &h.hot[nv.ID]
 				if hs.PCPU >= 0 {
 					panic(fmt.Sprintf("hv: %v dispatched on two PCPUs", nv))
 				}
 				if hs.LastPCPU >= 0 && hs.LastPCPU != int32(p.ID) {
+					migCost := h.migrationCost(nv)
 					h.Overhead.Migrations++
-					h.Overhead.MigrationTime += h.Costs.Migration
-					p.chargeOverhead(now, h.Costs.Migration)
+					h.Overhead.MigrationTime += migCost
+					p.chargeOverhead(now, migCost)
 					// Emitted where the counter increments; Arg is the
 					// source PCPU, Event.PCPU the destination.
 					if h.bus.Active() {
@@ -282,9 +287,10 @@ func (h *Host) VCPURecheck(v *VCPU, now simtime.Time) {
 		return
 	}
 	if j != v.curJob {
+		cost := h.Costs.GuestSwitch.Sample(h.costRNG)
 		h.Overhead.GuestSwitches++
-		h.Overhead.GuestSwitchTime += h.Costs.GuestSwitch
-		p.chargeOverhead(now, h.Costs.GuestSwitch)
+		h.Overhead.GuestSwitchTime += cost
+		p.chargeOverhead(now, cost)
 		h.emitGuestSwitch(v, j, now)
 		v.curJob = j
 	}

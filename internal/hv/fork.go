@@ -29,6 +29,9 @@ func (h *Host) ForkHandler(ctx *clone.Ctx) sim.Handler {
 		startTime: h.startTime,
 		nextVCPU:  h.nextVCPU,
 		handlerID: h.handlerID,
+		// The cost stream continues from exactly where the original stands,
+		// so fork and original sample identical future costs.
+		costRNG: h.costRNG.Clone(),
 	}
 	ctx.Put(h, nh)
 	// PCPUs first, shallow: VCPU clones reach back into them (v.pcpu), so
@@ -79,7 +82,7 @@ func cloneVM(ctx *clone.Ctx, vm *VM) *VM {
 	if n, ok := ctx.Lookup(vm); ok {
 		return n.(*VM)
 	}
-	nvm := &VM{ID: vm.ID, Name: vm.Name, host: clone.Get(ctx, vm.host)}
+	nvm := &VM{ID: vm.ID, Name: vm.Name, WorkingSetMiB: vm.WorkingSetMiB, host: clone.Get(ctx, vm.host)}
 	ctx.Put(vm, nvm)
 	nvm.VCPUs = make([]*VCPU, len(vm.VCPUs))
 	for i, v := range vm.VCPUs {

@@ -32,6 +32,11 @@ type Host struct {
 	started   bool
 	startTime simtime.Time
 	nextVCPU  int
+	// costRNG is the dedicated platform-cost sampling stream: derived from
+	// (simulator seed, handler ID) without consuming a main-stream draw,
+	// cloned by ForkHandler. Constant cost terms never touch it, so the
+	// default all-constant model leaves it pristine.
+	costRNG *sim.RNG
 	// handlerID is the host's slot in the simulator's typed-event dispatch
 	// table; the per-PCPU kernel timers are payload events addressed to it.
 	handlerID int32
@@ -48,6 +53,7 @@ func NewHost(s *sim.Simulator, m int, sched HostScheduler, costs CostModel) *Hos
 	}
 	h := &Host{Sim: s, Costs: costs, sched: sched}
 	h.handlerID = s.RegisterHandler(h)
+	h.costRNG = s.DerivedRNG(uint64(h.handlerID))
 	for i := 0; i < m; i++ {
 		h.pcpus = append(h.pcpus, &PCPU{ID: i, host: h})
 	}
@@ -193,8 +199,9 @@ func (h *Host) addVCPU(vm *VM, rt bool, res Reservation, weight int) (*VCPU, err
 // forwards to the host scheduler's cross-layer handler.
 func (h *Host) SchedRTVirt(hc Hypercall) error {
 	now := h.Sim.Now()
+	cost := h.Costs.HypercallCost(hc.Flag).Sample(h.costRNG)
 	h.Overhead.Hypercalls++
-	h.Overhead.HypercallTime += h.Costs.Hypercall
+	h.Overhead.HypercallTime += cost
 	// One event per call, emitted where the counter increments so trace
 	// counts and the Overhead meter always agree.
 	if h.bus.Active() {
@@ -223,7 +230,7 @@ func (h *Host) SchedRTVirt(hc Hypercall) error {
 		if i := h.hot[hc.VCPU.ID].PCPU; i >= 0 {
 			p := h.pcpus[i]
 			h.advance(p, now)
-			p.chargeOverhead(now, h.Costs.Hypercall)
+			p.chargeOverhead(now, cost)
 		}
 	}
 	cl, ok := h.sched.(CrossLayer)

@@ -44,29 +44,6 @@ func (r Reservation) String() string {
 	return fmt.Sprintf("(budget=%v, period=%v)", r.Budget, r.Period)
 }
 
-// CostModel holds the platform costs the simulator charges. The defaults
-// mirror the constants reported in §4 of the paper.
-type CostModel struct {
-	Hypercall         simtime.Duration // per sched_rtvirt() call
-	ContextSwitch     simtime.Duration // host-level VCPU switch
-	Migration         simtime.Duration // extra cost when a VCPU changes PCPU
-	ScheduleBase      simtime.Duration // fixed cost per schedule() call
-	SchedulePerEntity simtime.Duration // additional cost per entity examined
-	GuestSwitch       simtime.Duration // guest-level process switch
-}
-
-// DefaultCosts returns the cost model used throughout the evaluation.
-func DefaultCosts() CostModel {
-	return CostModel{
-		Hypercall:         simtime.Micros(10), // §4.5: 10µs per hypercall
-		ContextSwitch:     simtime.Micros(2),
-		Migration:         simtime.Micros(3),
-		ScheduleBase:      simtime.Micros(1),
-		SchedulePerEntity: 100 * simtime.Nanosecond,
-		GuestSwitch:       simtime.Microsecond,
-	}
-}
-
 // Overhead accumulates the scheduler-overhead measurements reported in
 // Table 6 of the paper.
 type Overhead struct {

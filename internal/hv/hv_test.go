@@ -133,7 +133,8 @@ func TestSingleJobRunsToCompletion(t *testing.T) {
 }
 
 func TestCostsDelayExecution(t *testing.T) {
-	costs := CostModel{ScheduleBase: simtime.Micros(5), ContextSwitch: simtime.Micros(7)}
+	costs := CostModel{ScheduleBase: ConstCost(simtime.Micros(5))}
+	costs.SetContextSwitch(ConstCost(simtime.Micros(7)))
 	s, h, _ := testHost(t, 1, costs)
 	g := newFifoGuest(h)
 	vm := h.NewVM("vm0", g)

@@ -202,7 +202,7 @@ func (g *prioGuest) submit(v *VCPU, j *task.Job, prio int, now simtime.Time) {
 }
 
 func TestVCPURecheckPreemptsGuestJob(t *testing.T) {
-	costs := CostModel{GuestSwitch: simtime.Micros(3)}
+	costs := CostModel{GuestSwitch: ConstCost(simtime.Micros(3))}
 	s, h, _ := testHost(t, 1, costs)
 	g := newPrioGuest(h)
 	vm := h.NewVM("vm0", g)

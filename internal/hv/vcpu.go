@@ -16,6 +16,11 @@ type VM struct {
 	Guest GuestDriver
 	VCPUs []*VCPU
 
+	// WorkingSetMiB is the VM's declared working-set size. It scales the
+	// cross-PCPU migration cost via CostModel.MigrationPerMiB; zero means
+	// migrations cost only the fixed Migration term.
+	WorkingSetMiB int
+
 	host *Host
 }
 

@@ -1,0 +1,163 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"rtvirt/internal/dist"
+	"rtvirt/internal/hv"
+)
+
+// CostSpec is one platform-cost term in scenario JSON. It accepts either a
+// bare number (a constant, in microseconds):
+//
+//	"migration": 3
+//
+// or an object naming exactly one distribution:
+//
+//	"migration": {"const": 3}
+//	"ctx_switch_cold": {"pareto": {"lo_us": 2, "hi_us": 50, "alpha": 2.2}}
+//	"hypercall": {"lognormal": {"mean_us": 10, "sigma": 0.45}}
+//	"tick": {"normal": {"mean_us": 20, "stddev_us": 4, "min_us": 2}}
+//	"schedule_base": {"uniform": {"lo_us": 0.5, "hi_us": 1.5}}
+//
+// Unknown keys, empty objects, and objects naming two forms are rejected
+// loudly at parse/validate time.
+type CostSpec struct {
+	Const     *float64       `json:"const,omitempty"`
+	Uniform   *UniformSpec   `json:"uniform,omitempty"`
+	Normal    *NormalSpec    `json:"normal,omitempty"`
+	LogNormal *LogNormalSpec `json:"lognormal,omitempty"`
+	Pareto    *ParetoSpec    `json:"pareto,omitempty"`
+}
+
+// UniformSpec draws uniformly from [lo_us, hi_us] microseconds.
+type UniformSpec struct {
+	LoUS float64 `json:"lo_us"`
+	HiUS float64 `json:"hi_us"`
+}
+
+// NormalSpec draws from a normal distribution (microsecond parameters),
+// clamped below at min_us.
+type NormalSpec struct {
+	MeanUS   float64 `json:"mean_us"`
+	StddevUS float64 `json:"stddev_us"`
+	MinUS    float64 `json:"min_us"`
+}
+
+// LogNormalSpec draws from a log-normal with the given mean (µs) and
+// multiplicative tail spread sigma (dimensionless).
+type LogNormalSpec struct {
+	MeanUS float64 `json:"mean_us"`
+	Sigma  float64 `json:"sigma"`
+}
+
+// ParetoSpec draws from a bounded Pareto on [lo_us, hi_us] with shape alpha.
+type ParetoSpec struct {
+	LoUS  float64 `json:"lo_us"`
+	HiUS  float64 `json:"hi_us"`
+	Alpha float64 `json:"alpha"`
+}
+
+// UnmarshalJSON accepts the bare-number shorthand or the strict object form.
+// Strictness does not ride on the outer decoder (custom unmarshalers never
+// see DisallowUnknownFields), so the object path re-enforces it here.
+func (c *CostSpec) UnmarshalJSON(b []byte) error {
+	b = bytes.TrimSpace(b)
+	if len(b) > 0 && b[0] != '{' {
+		var us float64
+		if err := json.Unmarshal(b, &us); err != nil {
+			return fmt.Errorf("cost: want a number (µs) or a distribution object: %w", err)
+		}
+		*c = CostSpec{Const: &us}
+		return nil
+	}
+	type plain CostSpec // no methods: avoids recursing into this unmarshaler
+	var p plain
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return fmt.Errorf("cost: %w", err)
+	}
+	*c = CostSpec(p)
+	return nil
+}
+
+// MarshalJSON writes the canonical form: bare number for constants, the
+// object form otherwise, so a marshal/reparse round trip is lossless.
+func (c CostSpec) MarshalJSON() ([]byte, error) {
+	if c.Const != nil && c.Uniform == nil && c.Normal == nil &&
+		c.LogNormal == nil && c.Pareto == nil {
+		return json.Marshal(*c.Const)
+	}
+	type plain CostSpec
+	return json.Marshal(plain(c))
+}
+
+// badUS reports whether a microsecond field is unusable as a cost.
+func badUS(v float64) bool { return v < 0 || math.IsNaN(v) || math.IsInf(v, 0) }
+
+// validate checks the spec names exactly one well-formed distribution.
+// name is the JSON field for error messages.
+func (c *CostSpec) validate(name string) error {
+	forms := 0
+	for _, set := range []bool{c.Const != nil, c.Uniform != nil, c.Normal != nil,
+		c.LogNormal != nil, c.Pareto != nil} {
+		if set {
+			forms++
+		}
+	}
+	if forms != 1 {
+		return fmt.Errorf("scenario: costs.%s must name exactly one of const/uniform/normal/lognormal/pareto (got %d)", name, forms)
+	}
+	switch {
+	case c.Const != nil:
+		if badUS(*c.Const) {
+			return fmt.Errorf("scenario: costs.%s.const invalid (%v)", name, *c.Const)
+		}
+	case c.Uniform != nil:
+		u := c.Uniform
+		if badUS(u.LoUS) || badUS(u.HiUS) || u.HiUS < u.LoUS {
+			return fmt.Errorf("scenario: costs.%s.uniform needs 0 ≤ lo_us ≤ hi_us (got [%v, %v])", name, u.LoUS, u.HiUS)
+		}
+	case c.Normal != nil:
+		n := c.Normal
+		if badUS(n.MeanUS) || badUS(n.StddevUS) || badUS(n.MinUS) {
+			return fmt.Errorf("scenario: costs.%s.normal needs finite non-negative mean_us/stddev_us/min_us (got µ=%v σ=%v min=%v)", name, n.MeanUS, n.StddevUS, n.MinUS)
+		}
+	case c.LogNormal != nil:
+		l := c.LogNormal
+		if badUS(l.MeanUS) || l.MeanUS == 0 || math.IsNaN(l.Sigma) || math.IsInf(l.Sigma, 0) || l.Sigma < 0 {
+			return fmt.Errorf("scenario: costs.%s.lognormal needs mean_us > 0 and sigma ≥ 0 (got µ=%v σ=%v)", name, l.MeanUS, l.Sigma)
+		}
+	case c.Pareto != nil:
+		p := c.Pareto
+		if badUS(p.LoUS) || badUS(p.HiUS) || p.LoUS == 0 || p.HiUS < p.LoUS ||
+			math.IsNaN(p.Alpha) || math.IsInf(p.Alpha, 0) || p.Alpha <= 0 {
+			return fmt.Errorf("scenario: costs.%s.pareto needs 0 < lo_us ≤ hi_us and alpha > 0 (got [%v, %v] α=%v)", name, p.LoUS, p.HiUS, p.Alpha)
+		}
+	}
+	return nil
+}
+
+// toCost builds the hv.Cost term. The spec must have passed validate.
+func (c *CostSpec) toCost() hv.Cost {
+	switch {
+	case c.Const != nil:
+		return hv.ConstCost(usToDur(*c.Const))
+	case c.Uniform != nil:
+		return hv.DistCost(dist.Uniform{Lo: usToDur(c.Uniform.LoUS), Hi: usToDur(c.Uniform.HiUS)})
+	case c.Normal != nil:
+		return hv.DistCost(dist.Normal{MeanD: usToDur(c.Normal.MeanUS),
+			Stddev: usToDur(c.Normal.StddevUS), Min: usToDur(c.Normal.MinUS)})
+	case c.LogNormal != nil:
+		return hv.DistCost(dist.LogNormalFromMoments(usToDur(c.LogNormal.MeanUS), c.LogNormal.Sigma))
+	case c.Pareto != nil:
+		return hv.DistCost(dist.BoundedPareto{Lo: usToDur(c.Pareto.LoUS),
+			Hi: usToDur(c.Pareto.HiUS), Alpha: c.Pareto.Alpha})
+	default:
+		panic("scenario: toCost on empty CostSpec")
+	}
+}

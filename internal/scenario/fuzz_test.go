@@ -7,7 +7,6 @@ import (
 	"testing"
 
 	"rtvirt/internal/hv"
-	"rtvirt/internal/simtime"
 )
 
 // FuzzScenarioJSON holds the scenario codec to two properties under
@@ -51,14 +50,25 @@ func FuzzScenarioJSON(f *testing.F) {
 
 // FuzzCostsBlock stresses the costs override block in isolation:
 // validation must reject every block that would corrupt the cost model
-// (negative, NaN, Inf), and any block that passes validation must apply
-// to non-negative durations without panicking.
+// (negative, NaN, Inf, malformed distribution objects), and any block that
+// passes validation must apply to terms with non-negative means without
+// panicking.
 func FuzzCostsBlock(f *testing.F) {
 	f.Add(`{"context_switch_us":2,"migration_us":3,"hypercall_us":10}`)
 	f.Add(`{"hypercall_us":0}`)
 	f.Add(`{"migration_us":1e-3}`)
 	f.Add(`{"context_switch_us":-1}`)
 	f.Add(`{}`)
+	f.Add(`{"migration":3,"tick":{"const":20}}`)
+	f.Add(`{"hypercall":{"lognormal":{"mean_us":10,"sigma":0.45}}}`)
+	f.Add(`{"ctx_switch_cold":{"pareto":{"lo_us":2,"hi_us":50,"alpha":2.2}}}`)
+	f.Add(`{"schedule_base":{"uniform":{"lo_us":0.5,"hi_us":1.5}},"guest_switch":{"normal":{"mean_us":1,"stddev_us":0.3,"min_us":0.1}}}`)
+	f.Add(`{"migration_per_mib":0.12}`)
+	f.Add(`{"hypercall":{"const":1,"normal":{"mean_us":2}}}`)
+	f.Add(`{"tick":{}}`)
+	f.Add(`{"context_switch":1,"ctx_switch_warm":2}`)
+	f.Add(`{"hypercall_us":10,"hypercall_inc_bw":{"const":5}}`)
+	f.Add(`{"migration":{"pareto":{"lo_us":0,"hi_us":5,"alpha":1.5}}}`)
 	f.Fuzz(func(t *testing.T, block string) {
 		raw := []byte(`{"vms":[{"name":"a"}],"costs":` + block + `}`)
 		sc, err := Parse(bytes.NewReader(raw))
@@ -72,9 +82,13 @@ func FuzzCostsBlock(f *testing.F) {
 		if sc.Costs != nil {
 			sc.Costs.apply(&cm)
 		}
-		for _, d := range []simtime.Duration{cm.ContextSwitch, cm.Migration, cm.Hypercall} {
-			if d < 0 {
-				t.Fatalf("validated costs block %q applied to a negative duration: %+v", block, cm)
+		for _, c := range []hv.Cost{
+			cm.CtxSwitchWarm, cm.CtxSwitchCold, cm.Migration, cm.MigrationPerMiB,
+			cm.HypercallIncBW, cm.HypercallDecBW, cm.HypercallIncDecBW,
+			cm.ScheduleBase, cm.SchedulePerEntity, cm.GuestSwitch, cm.Tick,
+		} {
+			if c.Mean() < 0 {
+				t.Fatalf("validated costs block %q applied to a negative-mean term %v: %+v", block, c, cm)
 			}
 		}
 	})

@@ -35,31 +35,170 @@ type Scenario struct {
 	VMs   []VM       `json:"vms"`
 }
 
-// CostsSpec overrides the platform cost model, in microseconds. Only the
-// fields present in the JSON are applied; absent fields keep the defaults
-// (10µs hypercall, 2µs context switch, 3µs migration — §4.5).
+// CostsSpec overrides the platform cost model per cause. Only the fields
+// present in the JSON are applied; absent fields keep the defaults
+// (10µs hypercall, 2µs context switch, 3µs migration — §4.5). Each term is
+// a CostSpec: a bare number (constant µs) or a distribution object.
+//
+// The generic fields fan out: context_switch sets both the warm and cold
+// switch terms, hypercall sets all three hypercall flags. Giving a generic
+// field together with one of its specific counterparts is rejected, as is
+// mixing a legacy *_us field with its replacement.
 type CostsSpec struct {
-	ContextSwitchUS *float64 `json:"context_switch_us"`
-	MigrationUS     *float64 `json:"migration_us"`
-	HypercallUS     *float64 `json:"hypercall_us"`
+	// Legacy scalar overrides (µs). Deprecated in favour of the CostSpec
+	// fields below, kept so existing scenario JSON parses unchanged.
+	ContextSwitchUS *float64 `json:"context_switch_us,omitempty"`
+	MigrationUS     *float64 `json:"migration_us,omitempty"`
+	HypercallUS     *float64 `json:"hypercall_us,omitempty"`
+
+	// Per-cause terms. ContextSwitch/Hypercall are the generic forms.
+	ContextSwitch     *CostSpec `json:"context_switch,omitempty"`
+	CtxSwitchWarm     *CostSpec `json:"ctx_switch_warm,omitempty"`
+	CtxSwitchCold     *CostSpec `json:"ctx_switch_cold,omitempty"`
+	Hypercall         *CostSpec `json:"hypercall,omitempty"`
+	HypercallIncBW    *CostSpec `json:"hypercall_inc_bw,omitempty"`
+	HypercallDecBW    *CostSpec `json:"hypercall_dec_bw,omitempty"`
+	HypercallIncDecBW *CostSpec `json:"hypercall_inc_dec_bw,omitempty"`
+	Migration         *CostSpec `json:"migration,omitempty"`
+	MigrationPerMiB   *CostSpec `json:"migration_per_mib,omitempty"`
+	ScheduleBase      *CostSpec `json:"schedule_base,omitempty"`
+	SchedulePerEntity *CostSpec `json:"schedule_per_entity,omitempty"`
+	GuestSwitch       *CostSpec `json:"guest_switch,omitempty"`
+	// Tick is the periodic accounting-tick cost charged by tick-driven
+	// schedulers (Credit); it replaces credit.Config.TickCost.
+	Tick *CostSpec `json:"tick,omitempty"`
+
 	// NetworkDelayUS overrides the client→server network delay applied to
 	// sporadic request streams (default 19µs, the paper's measured p99.9).
 	// Unlike the other costs it must be strictly positive: it doubles as
 	// the conservative-PDES lookahead bound in sharded cluster runs, and a
 	// zero lookahead admits no parallel window at all.
-	NetworkDelayUS *float64 `json:"network_delay_us"`
+	NetworkDelayUS *float64 `json:"network_delay_us,omitempty"`
+}
+
+// specs names every CostSpec field for validation and application.
+func (c *CostsSpec) specs() []struct {
+	name string
+	spec *CostSpec
+} {
+	return []struct {
+		name string
+		spec *CostSpec
+	}{
+		{"context_switch", c.ContextSwitch},
+		{"ctx_switch_warm", c.CtxSwitchWarm},
+		{"ctx_switch_cold", c.CtxSwitchCold},
+		{"hypercall", c.Hypercall},
+		{"hypercall_inc_bw", c.HypercallIncBW},
+		{"hypercall_dec_bw", c.HypercallDecBW},
+		{"hypercall_inc_dec_bw", c.HypercallIncDecBW},
+		{"migration", c.Migration},
+		{"migration_per_mib", c.MigrationPerMiB},
+		{"schedule_base", c.ScheduleBase},
+		{"schedule_per_entity", c.SchedulePerEntity},
+		{"guest_switch", c.GuestSwitch},
+		{"tick", c.Tick},
+	}
+}
+
+// validate checks each given term and rejects contradictory combinations.
+func (c *CostsSpec) validate() error {
+	for _, f := range c.specs() {
+		if f.spec == nil {
+			continue
+		}
+		if err := f.spec.validate(f.name); err != nil {
+			return err
+		}
+	}
+	type conflict struct{ a, b string }
+	pairs := []struct {
+		gotA, gotB bool
+		conflict
+	}{
+		{c.ContextSwitch != nil, c.CtxSwitchWarm != nil, conflict{"context_switch", "ctx_switch_warm"}},
+		{c.ContextSwitch != nil, c.CtxSwitchCold != nil, conflict{"context_switch", "ctx_switch_cold"}},
+		{c.Hypercall != nil, c.HypercallIncBW != nil, conflict{"hypercall", "hypercall_inc_bw"}},
+		{c.Hypercall != nil, c.HypercallDecBW != nil, conflict{"hypercall", "hypercall_dec_bw"}},
+		{c.Hypercall != nil, c.HypercallIncDecBW != nil, conflict{"hypercall", "hypercall_inc_dec_bw"}},
+		{c.ContextSwitchUS != nil, c.ContextSwitch != nil, conflict{"context_switch_us", "context_switch"}},
+		{c.ContextSwitchUS != nil, c.CtxSwitchWarm != nil, conflict{"context_switch_us", "ctx_switch_warm"}},
+		{c.ContextSwitchUS != nil, c.CtxSwitchCold != nil, conflict{"context_switch_us", "ctx_switch_cold"}},
+		{c.MigrationUS != nil, c.Migration != nil, conflict{"migration_us", "migration"}},
+		{c.HypercallUS != nil, c.Hypercall != nil, conflict{"hypercall_us", "hypercall"}},
+		{c.HypercallUS != nil, c.HypercallIncBW != nil, conflict{"hypercall_us", "hypercall_inc_bw"}},
+		{c.HypercallUS != nil, c.HypercallDecBW != nil, conflict{"hypercall_us", "hypercall_dec_bw"}},
+		{c.HypercallUS != nil, c.HypercallIncDecBW != nil, conflict{"hypercall_us", "hypercall_inc_dec_bw"}},
+	}
+	for _, p := range pairs {
+		if p.gotA && p.gotB {
+			return fmt.Errorf("scenario: costs.%s and costs.%s are mutually exclusive", p.a, p.b)
+		}
+	}
+	return nil
+}
+
+// CostModel returns hv.DefaultCosts with the overrides applied. It exists
+// for builders that assemble system configs themselves instead of going
+// through Build (the sharded-cluster quick harness); a nil receiver
+// returns the plain defaults.
+func (c *CostsSpec) CostModel() hv.CostModel {
+	m := hv.DefaultCosts()
+	if c != nil {
+		c.apply(&m)
+	}
+	return m
 }
 
 // apply folds the overrides into a cost model.
 func (c *CostsSpec) apply(m *hv.CostModel) {
 	if c.ContextSwitchUS != nil {
-		m.ContextSwitch = usToDur(*c.ContextSwitchUS)
+		m.SetContextSwitch(hv.ConstCost(usToDur(*c.ContextSwitchUS)))
 	}
 	if c.MigrationUS != nil {
-		m.Migration = usToDur(*c.MigrationUS)
+		m.Migration = hv.ConstCost(usToDur(*c.MigrationUS))
 	}
 	if c.HypercallUS != nil {
-		m.Hypercall = usToDur(*c.HypercallUS)
+		m.SetHypercall(hv.ConstCost(usToDur(*c.HypercallUS)))
+	}
+	if c.ContextSwitch != nil {
+		m.SetContextSwitch(c.ContextSwitch.toCost())
+	}
+	if c.CtxSwitchWarm != nil {
+		m.CtxSwitchWarm = c.CtxSwitchWarm.toCost()
+	}
+	if c.CtxSwitchCold != nil {
+		m.CtxSwitchCold = c.CtxSwitchCold.toCost()
+	}
+	if c.Hypercall != nil {
+		m.SetHypercall(c.Hypercall.toCost())
+	}
+	if c.HypercallIncBW != nil {
+		m.HypercallIncBW = c.HypercallIncBW.toCost()
+	}
+	if c.HypercallDecBW != nil {
+		m.HypercallDecBW = c.HypercallDecBW.toCost()
+	}
+	if c.HypercallIncDecBW != nil {
+		m.HypercallIncDecBW = c.HypercallIncDecBW.toCost()
+	}
+	if c.Migration != nil {
+		m.Migration = c.Migration.toCost()
+	}
+	if c.MigrationPerMiB != nil {
+		m.MigrationPerMiB = c.MigrationPerMiB.toCost()
+	}
+	if c.ScheduleBase != nil {
+		m.ScheduleBase = c.ScheduleBase.toCost()
+	}
+	if c.SchedulePerEntity != nil {
+		m.SchedulePerEntity = c.SchedulePerEntity.toCost()
+	}
+	if c.GuestSwitch != nil {
+		m.GuestSwitch = c.GuestSwitch.toCost()
+	}
+	if c.Tick != nil {
+		m.Tick = c.Tick.toCost()
 	}
 }
 
@@ -90,6 +229,10 @@ type VM struct {
 	// PrioritySlack scales each VCPU's slack by (1 + highest task
 	// priority) — §6's priority-proportional provisioning.
 	PrioritySlack bool `json:"priority_slack"`
+	// WorkingSetMiB declares the VM's working-set size, which scales
+	// cross-PCPU migration cost via the model's migration_per_mib term
+	// (0 = migrations cost only the fixed term).
+	WorkingSetMiB int `json:"working_set_mib"`
 }
 
 // ServerSpec is an explicit (budget, period) VCPU reservation.
@@ -192,6 +335,9 @@ func (sc Scenario) Validate() error {
 				return fmt.Errorf("scenario: costs.%s invalid (%v)", f.name, *f.value)
 			}
 		}
+		if err := sc.Costs.validate(); err != nil {
+			return err
+		}
 		if d := sc.Costs.NetworkDelayUS; d != nil {
 			if *d <= 0 || math.IsNaN(*d) || math.IsInf(*d, 0) {
 				return fmt.Errorf("scenario: costs.network_delay_us must be positive (it is the PDES lookahead bound), got %v", *d)
@@ -209,6 +355,9 @@ func (sc Scenario) Validate() error {
 		}
 		if vm.SlackUS != nil && *vm.SlackUS < 0 {
 			return fmt.Errorf("scenario: VM %q has negative slack_us", vm.Name)
+		}
+		if vm.WorkingSetMiB < 0 {
+			return fmt.Errorf("scenario: VM %q has negative working_set_mib", vm.Name)
 		}
 		if vm.MaxVCPUs != 0 && vm.MaxVCPUs < vm.VCPUs {
 			return fmt.Errorf("scenario: VM %q max_vcpus %d below vcpus %d",
@@ -340,6 +489,7 @@ func Build(sc Scenario, opts Options) (*World, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scenario: vm %q: %w", vmSpec.Name, err)
 		}
+		g.VM().WorkingSetMiB = vmSpec.WorkingSetMiB
 		for _, ts := range vmSpec.Tasks {
 			tk, err := makeTask(g, id, ts)
 			if err != nil {

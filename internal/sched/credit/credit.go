@@ -56,19 +56,26 @@ type Config struct {
 	// TickEvery is the scheduler tick used for burn accounting and
 	// deboosting (Xen: 10ms).
 	TickEvery simtime.Duration
-	// TickCost is the CPU time consumed by each tick on each busy PCPU;
-	// it is what stretches Credit's dedicated-CPU tail in Table 4.
+	// TickCost overrides the CPU time consumed by each tick on each busy
+	// PCPU — the overhead that stretches Credit's dedicated-CPU tail in
+	// Table 4.
+	//
+	// Deprecated: the tick cost now lives in the shared platform cost model
+	// (hv.CostModel.Tick), next to every other per-cause overhead. A
+	// positive TickCost still wins over the model for old configs and
+	// scenario JSON; leave it zero to use the model's term.
 	TickCost simtime.Duration
 }
 
-// DefaultConfig returns stock Xen Credit parameters.
+// DefaultConfig returns stock Xen Credit parameters. The tick cost is no
+// longer set here: it defaults through hv.DefaultCosts().Tick (20µs), so
+// all platform overheads live in one place.
 func DefaultConfig() Config {
 	return Config{
 		Timeslice:     simtime.Millis(30),
 		Ratelimit:     simtime.Millis(1),
 		AccountPeriod: simtime.Millis(30),
 		TickEvery:     simtime.Millis(10),
-		TickCost:      simtime.Micros(20),
 	}
 }
 
@@ -255,16 +262,23 @@ func (s *Scheduler) account(now simtime.Time) {
 	s.h.Sim.PostAt(now.Add(s.cfg.AccountPeriod), sim.Payload{Handler: s.id, Kind: evAccount})
 }
 
-// tick deboosts running VCPUs and charges the tick cost on busy PCPUs.
+// tick deboosts running VCPUs and charges the tick cost on busy PCPUs. The
+// cost comes from the shared platform model (hv.CostModel.Tick), sampled
+// per busy PCPU from the host's cost stream; a positive legacy
+// Config.TickCost overrides the model.
 func (s *Scheduler) tick(now simtime.Time) {
+	tickCost := s.h.Costs.Tick
+	if s.cfg.TickCost > 0 {
+		tickCost = hv.ConstCost(s.cfg.TickCost)
+	}
 	for _, p := range s.h.PCPUs() {
 		if cur := p.Current(); cur != nil {
 			if s.managed(cur) && s.st[cur.ID].boost {
 				s.st[cur.ID].boost = false
 			}
-			if s.cfg.TickCost > 0 {
+			if c := s.h.DrawCost(tickCost); c > 0 {
 				s.h.Overhead.ScheduleCalls++
-				s.h.ChargeScheduleWork(p, s.cfg.TickCost)
+				s.h.ChargeScheduleWork(p, c)
 			}
 		}
 	}

@@ -488,7 +488,7 @@ func (s *Scheduler) rebuild(now simtime.Time) {
 
 	// Model the O(log n) + O(n) boundary work (§4.5) on PCPU 0.
 	n := len(rt)
-	cost := s.h.Costs.ScheduleBase + simtime.Duration(n)*s.h.Costs.SchedulePerEntity
+	cost := s.h.ScheduleCost(n)
 	s.h.Overhead.ScheduleCalls++
 	s.h.ChargeScheduleWork(s.h.PCPUs()[0], cost)
 

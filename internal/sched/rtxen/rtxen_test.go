@@ -236,7 +236,7 @@ func TestUpdateVCPUClampsBudget(t *testing.T) {
 
 func TestQuantumDrivenOverheadAccrues(t *testing.T) {
 	s := sim.New(5)
-	costs := hv.CostModel{ScheduleBase: simtime.Microsecond}
+	costs := hv.CostModel{ScheduleBase: hv.ConstCost(simtime.Microsecond)}
 	h := hv.NewHost(s, 1, New(DefaultConfig()), costs)
 	g := newServerVM(t, h, "vm", res(9, 10))
 	tk := task.New(0, "busy", task.Periodic, pp(8, 10))
@@ -260,7 +260,7 @@ func TestQuantumDrivenOverheadAccrues(t *testing.T) {
 func TestEventDrivenReducesScheduleCalls(t *testing.T) {
 	run := func(cfg Config) (uint64, int) {
 		s := sim.New(5)
-		h := hv.NewHost(s, 2, New(cfg), hv.CostModel{ScheduleBase: simtime.Microsecond})
+		h := hv.NewHost(s, 2, New(cfg), hv.CostModel{ScheduleBase: hv.ConstCost(simtime.Microsecond)})
 		var missed int
 		var tasks []*task.Task
 		for i := 0; i < 4; i++ {

@@ -65,7 +65,7 @@ func (s *Simulator) Fork(ctx *clone.Ctx) (*Simulator, error) {
 	if s.inStep {
 		panic("sim: Fork from inside an event callback")
 	}
-	ns := &Simulator{now: s.now, fired: s.fired, rng: s.rng.Clone()}
+	ns := &Simulator{now: s.now, fired: s.fired, rng: s.rng.Clone(), seed: s.seed}
 	ctx.Put(s, ns)
 	ctx.Put(s.rng, ns.rng)
 	ns.q.Dispatch = ns.dispatch

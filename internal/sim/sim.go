@@ -20,6 +20,7 @@ type Simulator struct {
 	now      simtime.Time
 	q        eventq.Queue
 	rng      *RNG
+	seed     uint64
 	fired    uint64
 	inStep   bool
 	handlers []Handler
@@ -53,7 +54,7 @@ func New(seed uint64) *Simulator {
 // NewWithBackend returns a Simulator with an explicitly pinned event-queue
 // backend, for harnesses that must cover both.
 func NewWithBackend(seed uint64, b eventq.Backend) *Simulator {
-	s := &Simulator{rng: NewRNG(seed)}
+	s := &Simulator{rng: NewRNG(seed), seed: seed}
 	s.q.SetBackend(b)
 	s.q.Dispatch = s.dispatch
 	return s
@@ -67,6 +68,22 @@ func (s *Simulator) Now() simtime.Time { return s.now }
 
 // RNG returns the simulator's deterministic random source.
 func (s *Simulator) RNG() *RNG { return s.rng }
+
+// Seed reports the seed this simulator was created with. Forks inherit it.
+func (s *Simulator) Seed() uint64 { return s.seed }
+
+// DerivedRNG returns a fresh generator whose stream is a pure function of
+// (seed, tag) — it never consumes a draw from the main stream, so adding a
+// derived stream cannot perturb existing event sequences. Layers that need
+// their own substream (e.g. the hypervisor's platform-cost sampler) derive
+// one from a stable tag such as their handler ID; two layers with distinct
+// tags get decorrelated streams.
+func (s *Simulator) DerivedRNG(tag uint64) *RNG {
+	z := s.seed + (tag+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return NewRNG(z ^ (z >> 31))
+}
 
 // EventsFired reports how many events have executed so far.
 func (s *Simulator) EventsFired() uint64 { return s.fired }

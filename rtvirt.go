@@ -111,7 +111,21 @@ type (
 	Reservation = hv.Reservation
 	// CostModel holds the platform costs charged by the simulation.
 	CostModel = hv.CostModel
+	// Cost is one distribution-valued cost term of the model.
+	Cost = hv.Cost
 )
+
+// ConstCost is a fixed cost term; constant terms never draw from the
+// per-host cost RNG stream.
+func ConstCost(d Duration) Cost { return hv.ConstCost(d) }
+
+// DistCost is a cost term sampled from a duration distribution on the
+// dedicated per-host cost stream.
+func DistCost(d DurationDist) Cost { return hv.DistCost(d) }
+
+// CalibratedCosts returns the distribution-valued, per-cause cost model
+// (heavy-tailed migrations and cold switches, lognormal hypercalls).
+func CalibratedCosts() CostModel { return hv.CalibratedCosts() }
 
 // Stacks.
 const (
@@ -407,6 +421,12 @@ type (
 	SurgeRow = experiments.SurgeRow
 	// BisectResult reports where two systems' dispatch streams part ways.
 	BisectResult = experiments.BisectResult
+	// FidelityConfig tunes the constant-vs-calibrated cost ablation.
+	FidelityConfig = experiments.FidelityConfig
+	// FidelityResult is the full cost-fidelity ablation.
+	FidelityResult = experiments.FidelityResult
+	// FidelityRow is one scheduler comparison under both cost models.
+	FidelityRow = experiments.FidelityRow
 )
 
 // Experiment scenarios re-exported from the drivers.
@@ -466,6 +486,12 @@ var (
 	// IOBound measures the §1 guarantee boundary with an I/O-phase RPC.
 	IOBound  = experiments.IOBound
 	RenderIO = experiments.RenderIO
+
+	// FidelityAblation re-runs Figure 3 and Table 6 under the constant and
+	// calibrated cost models and reports which comparisons are robust.
+	FidelityAblation      = experiments.FidelityAblation
+	DefaultFidelityConfig = experiments.DefaultFidelityConfig
+	RenderFidelity        = experiments.RenderFidelity
 
 	// Defaults for the experiment configs.
 	DefaultFigure3Config = experiments.DefaultFigure3Config
