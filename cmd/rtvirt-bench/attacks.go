@@ -1,0 +1,34 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"rtvirt"
+)
+
+// runAttacks runs the adversarial suite and records it as a benchmark
+// artifact (BENCH_9.json by default): the tick-evasion attacker's
+// obtained/charged/stolen bandwidth under every scheduler stack — the
+// exact-accounting schedulers against the deliberately-naive tick-sampled
+// Credit double — plus the adaptive controller's convergence trace and
+// rejection-backoff counters.
+func runAttacks(seed uint64, secs int64, outPath string) {
+	cfg := rtvirt.DefaultAttackConfig()
+	cfg.Seed = seed
+	cfg.Duration = secondsOr(secs, cfg.Duration)
+	res := rtvirt.Attacks(cfg)
+	fmt.Println(rtvirt.RenderAttacks(res))
+
+	buf, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}

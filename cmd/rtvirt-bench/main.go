@@ -9,7 +9,7 @@
 //	rtvirt-bench -experiment fig5a -seconds 30
 //
 // Experiments: fig1, table1, table2, fig3, sporadic, table3, fig4,
-// table4, fig5a, fig5b, table5, table6, quickcheck, all.
+// table4, fig5a, fig5b, table5, table6, attacks, quickcheck, all.
 //
 // -experiment quickcheck runs the randomized invariant harness
 // (internal/check/quick): -n scenarios per stack, seeded by -seed; any
@@ -34,7 +34,7 @@ var out *report.Dir
 
 func main() {
 	var (
-		exp         = flag.String("experiment", "all", "which experiment to run (fig1, table1, table2, fig3, sporadic, table3, fig4, table4, fig5a, fig5b, table5, table6, ablations, fidelity, quickcheck, all)")
+		exp         = flag.String("experiment", "all", "which experiment to run (fig1, table1, table2, fig3, sporadic, table3, fig4, table4, fig5a, fig5b, table5, table6, ablations, fidelity, attacks, quickcheck, all)")
 		seed        = flag.Uint64("seed", 1, "simulation seed")
 		seconds     = flag.Int64("seconds", 0, "override run length in simulated seconds (0 = per-experiment default)")
 		outDir      = flag.String("out", "", "write machine-readable artifacts (CSV/JSON) to this directory")
@@ -49,6 +49,7 @@ func main() {
 		pdesOut     = flag.String("pdes-out", "BENCH_7.json", "output path for the -pdes lookahead/topology report")
 		pdesHosts   = flag.Int("pdes-hosts", 64, "hosts (= shards) for the -pdes sweep")
 		fidelityOut = flag.String("fidelity-out", "BENCH_8.json", "output path for the -experiment fidelity ablation record")
+		attacksOut  = flag.String("attacks-out", "BENCH_9.json", "output path for the -experiment attacks record")
 	)
 	flag.Parse()
 	runner.SetDefault(*parallel)
@@ -102,11 +103,12 @@ func main() {
 		"bisect":     func() { runBisect(*seed, *seconds) },
 		"robustness": func() { runRobustness(*runs, *seconds) },
 		"fidelity":   func() { runFidelity(*seed, *seconds, *parallel, *fidelityOut) },
+		"attacks":    func() { runAttacks(*seed, *seconds, *attacksOut) },
 		"quickcheck": func() { runQuickcheck(*seed, *n, *seconds) },
 	}
 	order := []string{"fig1", "table1", "table2", "fig3", "sporadic", "table3",
 		"fig4", "table4", "fig5a", "fig5b", "table5", "table6", "ablations", "io",
-		"surge", "loadsteps", "bisect", "robustness", "fidelity", "quickcheck"}
+		"surge", "loadsteps", "bisect", "robustness", "fidelity", "attacks", "quickcheck"}
 
 	name := strings.ToLower(*exp)
 	if name == "all" {

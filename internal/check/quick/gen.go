@@ -90,13 +90,46 @@ func Generate(rng *rand.Rand) scenario.Scenario {
 				// the period so the Normal model's bursts stay bounded.
 				ts.Kind = "sporadic"
 				ts.RateHz = (0.3 + 0.4*rng.Float64()) * 1e6 / float64(p)
+				if rng.Float64() < 0.35 {
+					// Open-loop production traffic, rate-matched to the
+					// closed-form stream it replaces.
+					ts.Arrivals = genArrivals(rng, ts.RateHz)
+				}
 			} else if rng.Intn(2) == 0 {
 				ts.PhaseMS = int64(rng.Intn(10))
+			}
+			if rng.Float64() < 0.2 {
+				// Adaptive controller: the slice may grow to maxGrow×, so
+				// the extra headroom is charged against the envelope up
+				// front — a controller-driven INC_BW can then never push
+				// the host past utilCap even if every request is admitted.
+				const maxGrow = 2.0
+				extra := (maxGrow - 1) * u
+				if serverStyle || used+extra <= budget {
+					if !serverStyle {
+						used += extra
+					}
+					ts.Adaptive = &scenario.AdaptiveSpec{
+						TargetUS:   p / 2,
+						WindowMS:   int64(20 + rng.Intn(80)),
+						MaxSliceUS: int64(maxGrow * float64(slice)),
+					}
+				}
 			}
 			vm.Tasks = append(vm.Tasks, ts)
 		}
 		if rng.Float64() < 0.25 {
 			vm.Tasks = append(vm.Tasks, scenario.TaskSpec{Name: "bg", Kind: "background"})
+		}
+		if rng.Float64() < 0.15 {
+			// Tick-evasion attacker (a background-class task): exercises the
+			// probe/learn/attack state machine and its fork path under every
+			// stack. Half declare the default Credit tick, half learn it.
+			ev := scenario.TaskSpec{Name: "evader", Kind: "evader"}
+			if rng.Intn(2) == 0 {
+				ev.Evader = &scenario.EvaderSpec{TickUS: 10000}
+			}
+			vm.Tasks = append(vm.Tasks, ev)
 		}
 		if rng.Intn(4) == 0 {
 			// Declared working set scales cross-PCPU migration cost through
@@ -110,6 +143,42 @@ func Generate(rng *rand.Rand) scenario.Scenario {
 
 // fp boxes a float64 for the pointer-valued spec fields.
 func fp(v float64) *float64 { return &v }
+
+// genArrivals draws one open-loop arrival block whose long-run rate tracks
+// rateHz, so the utilization budgeting done for the closed-form stream
+// stays representative.
+func genArrivals(rng *rand.Rand, rateHz float64) *scenario.ArrivalSpec {
+	switch rng.Intn(4) {
+	case 0:
+		return &scenario.ArrivalSpec{Poisson: &scenario.PoissonSpec{RateHz: rateHz}}
+	case 1:
+		// Mean of the sine curve over whole days is (base+peak)/2 = rateHz.
+		return &scenario.ArrivalSpec{Diurnal: &scenario.DiurnalSpec{
+			BaseHz: 0.5 * rateHz,
+			PeakHz: 1.5 * rateHz,
+			DayMS:  int64(1000 + rng.Intn(1000)),
+			Phase:  rng.Float64(),
+		}}
+	case 2:
+		// Two-state burst process; equal mean sojourns give a stationary
+		// rate of (0.5+1.5)/2 = rateHz.
+		s := int64(50 + rng.Intn(150))
+		return &scenario.ArrivalSpec{MMPP: &scenario.MMPPSpec{
+			RatesHz:   []float64{0.5 * rateHz, 1.5 * rateHz},
+			SojournMS: []int64{s, s},
+		}}
+	default:
+		return &scenario.ArrivalSpec{Flash: &scenario.FlashCrowdSpec{
+			BaseHz: rateHz,
+			Surges: []scenario.SurgeSpec{{
+				AtMS:    int64(rng.Intn(2000)),
+				PeakHz:  2 * rateHz,
+				RampMS:  int64(100 + rng.Intn(200)),
+				DecayMS: int64(100 + rng.Intn(200)),
+			}},
+		}}
+	}
+}
 
 // genCostSpec draws one cost term centred on scaleUS microseconds, in a
 // random distribution form. Tails are capped at hiCapUS so generated
@@ -187,6 +256,11 @@ func NeverMiss(sc scenario.Scenario) []string {
 			continue
 		}
 		for _, ts := range vm.Tasks {
+			if ts.Adaptive != nil {
+				// A controller may shrink the reservation below the task's
+				// demand mid-run; misses during that probe are by design.
+				continue
+			}
 			if ts.Kind == "" || ts.Kind == "periodic" {
 				keys = append(keys, vm.Name+"/"+ts.Name)
 			}

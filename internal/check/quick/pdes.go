@@ -88,11 +88,18 @@ func buildPDES(sc scenario.Scenario, seed uint64) (*cluster.Sharded, error) {
 					ct.Kind = task.Periodic
 				case "sporadic":
 					ct.Kind = task.Sporadic
-				case "background":
+				case "background", "evader":
+					// Evaders replicate as plain background load: their
+					// probe/burst driver is single-host machinery, but the
+					// task shape still exercises the sharded release path.
 					ct.Kind = task.Background
 					ct.Params = task.Params{}
 				default:
 					return nil, fmt.Errorf("quick: pdes: unknown task kind %q", ts.Kind)
+				}
+				if ts.Adaptive != nil {
+					cfg := ts.Adaptive.Config()
+					ct.Adaptive = &cfg
 				}
 				spec.Tasks = append(spec.Tasks, ct)
 			}
@@ -111,11 +118,16 @@ func buildPDES(sc scenario.Scenario, seed uint64) (*cluster.Sharded, error) {
 					rate = 10
 				}
 				mean := simtime.Duration(1e9 / rate) // ns between requests
-				_, err := c.AddRemoteClient((h+1)%cfg.Hosts, d, i,
+				cl, err := c.AddRemoteClient((h+1)%cfg.Hosts, d, i,
 					pdesClientDelay(cfg.Lookahead, seed, h, vi, i),
 					dist.Uniform{Lo: mean / 2, Hi: mean + mean/2}, nil, 0)
 				if err != nil {
 					return nil, fmt.Errorf("quick: pdes client: %w", err)
+				}
+				if ts.Arrivals != nil {
+					// Open-loop production traffic drives the remote
+					// stream too — each client clones its own process.
+					cl.Proc = ts.Arrivals.Process()
 				}
 			}
 		}

@@ -88,6 +88,26 @@ func reductions(sc scenario.Scenario) []scenario.Scenario {
 			c.VMs[i].Tasks = append(c.VMs[i].Tasks[:j], c.VMs[i].Tasks[j+1:]...)
 			out = append(out, c)
 		}
+		for j, ts := range vm.Tasks {
+			// Strip the open-loop arrival block (falling back to the
+			// closed-form sporadic client) and the adaptive controller
+			// before dropping the task entirely.
+			if ts.Arrivals != nil {
+				c := cloneScenario(sc)
+				c.VMs[i].Tasks[j].Arrivals = nil
+				out = append(out, c)
+			}
+			if ts.Adaptive != nil {
+				c := cloneScenario(sc)
+				c.VMs[i].Tasks[j].Adaptive = nil
+				out = append(out, c)
+			}
+			if ts.Evader != nil {
+				c := cloneScenario(sc)
+				c.VMs[i].Tasks[j].Evader = nil
+				out = append(out, c)
+			}
+		}
 		if len(vm.Servers) > 1 {
 			for j := range vm.Servers {
 				c := cloneScenario(sc)
@@ -181,12 +201,53 @@ func cloneScenario(sc scenario.Scenario) scenario.Scenario {
 	for i, vm := range sc.VMs {
 		cv := vm
 		cv.Servers = append([]scenario.ServerSpec(nil), vm.Servers...)
-		cv.Tasks = append([]scenario.TaskSpec(nil), vm.Tasks...)
+		cv.Tasks = make([]scenario.TaskSpec, len(vm.Tasks))
+		for j, ts := range vm.Tasks {
+			cv.Tasks[j] = cloneTaskSpec(ts)
+		}
 		c.VMs[i] = cv
 	}
 	if sc.Costs != nil {
 		cc := *sc.Costs
 		c.Costs = &cc
+	}
+	return c
+}
+
+// cloneTaskSpec deep-copies a TaskSpec's pointer-valued blocks so a
+// reduction nulling one candidate's block never aliases another's.
+func cloneTaskSpec(ts scenario.TaskSpec) scenario.TaskSpec {
+	c := ts
+	if ts.Arrivals != nil {
+		a := *ts.Arrivals
+		if ts.Arrivals.Poisson != nil {
+			p := *ts.Arrivals.Poisson
+			a.Poisson = &p
+		}
+		if ts.Arrivals.Diurnal != nil {
+			d := *ts.Arrivals.Diurnal
+			a.Diurnal = &d
+		}
+		if ts.Arrivals.MMPP != nil {
+			m := *ts.Arrivals.MMPP
+			m.RatesHz = append([]float64(nil), m.RatesHz...)
+			m.SojournMS = append([]int64(nil), m.SojournMS...)
+			a.MMPP = &m
+		}
+		if ts.Arrivals.Flash != nil {
+			f := *ts.Arrivals.Flash
+			f.Surges = append([]scenario.SurgeSpec(nil), f.Surges...)
+			a.Flash = &f
+		}
+		c.Arrivals = &a
+	}
+	if ts.Adaptive != nil {
+		ad := *ts.Adaptive
+		c.Adaptive = &ad
+	}
+	if ts.Evader != nil {
+		ev := *ts.Evader
+		c.Evader = &ev
 	}
 	return c
 }

@@ -107,6 +107,12 @@ type TaskSpec struct {
 	Params task.Params
 	// Phase delays the first periodic release after deployment.
 	Phase simtime.Duration
+	// Adaptive, when set, attaches a feedback controller that retunes the
+	// task's slice from observed response times (sharded clusters only).
+	// Controllers are host-local — they observe the resident host's trace
+	// bus and actuate through the resident guest — so they preserve the
+	// sharded run's executor-group invariance.
+	Adaptive *guest.AdaptiveConfig
 }
 
 // VMSpec describes a deployable VM.

@@ -211,6 +211,11 @@ type ShardedDeployment struct {
 	// lat[i] records task i's response times (release → completion),
 	// surviving migrations with the deployment.
 	lat []metrics.LatencyRecorder
+	// ctrl[i] is task i's adaptive controller on the resident host (nil
+	// for tasks without an Adaptive spec, and nil as a whole during a
+	// blackout — controllers are torn down with the guest and rebuilt
+	// fresh on the target).
+	ctrl []*guest.AdaptiveController
 
 	Migrations    int
 	BlackoutTotal simtime.Duration
@@ -248,6 +253,10 @@ type RemoteClient struct {
 	// CPU demand (nil = the task's declared slice).
 	Inter   dist.Duration
 	Service dist.Duration
+	// Proc, when set before Start, replaces Inter with a time-varying
+	// open-loop arrival process (diurnal/MMPP/flash-crowd production
+	// traffic). Inter stays required as the declared fallback.
+	Proc workload.ArrivalProcess
 	// Requests bounds the stream (0 = unbounded).
 	Requests int
 
@@ -384,7 +393,35 @@ func (c *Sharded) deployGuest(d *ShardedDeployment, host int) error {
 	d.guest = g
 	d.hostIdx = host
 	d.wireStats()
+	d.ctrl = nil
+	for i, ts := range d.Spec.Tasks {
+		if ts.Adaptive == nil {
+			continue
+		}
+		ct, err := guest.NewAdaptiveController(g, d.tasks[i], *ts.Adaptive)
+		if err != nil {
+			for _, t := range d.tasks {
+				_ = g.Unregister(t)
+			}
+			c.Hosts[host].Sys.Host.RemoveVM(g.VM())
+			d.guest = nil
+			return fmt.Errorf("cluster: controller for %q on host%d: %w", ts.Name, host, err)
+		}
+		if d.ctrl == nil {
+			d.ctrl = make([]*guest.AdaptiveController, len(d.tasks))
+		}
+		d.ctrl[i] = ct
+	}
 	return nil
+}
+
+// Controller returns task i's adaptive controller on the resident host
+// (nil without an Adaptive spec or during a blackout).
+func (d *ShardedDeployment) Controller(i int) *guest.AdaptiveController {
+	if d.ctrl == nil {
+		return nil
+	}
+	return d.ctrl[i]
 }
 
 // wireStats points every task's OnJobDone at the deployment's recorders.
@@ -409,6 +446,11 @@ func (c *Sharded) startTasks(d *ShardedDeployment, now simtime.Time) {
 			d.guest.StartPeriodic(d.tasks[i], now.Add(ts.Phase))
 		case task.Background:
 			d.guest.ReleaseJob(d.tasks[i], simtime.Duration(1<<60))
+		}
+	}
+	for _, ct := range d.ctrl {
+		if ct != nil {
+			ct.Start(now)
 		}
 	}
 }
@@ -612,6 +654,14 @@ func (a *hostAgent) migrateOut(now simtime.Time, ev sim.Payload) {
 	if err := d.guest.Shutdown(); err != nil {
 		panic(fmt.Sprintf("cluster: migrating %q out of host%d: %v", d.Spec.Name, a.host, err))
 	}
+	// Controllers die with the source guest: their stale window timers
+	// no-op once stopped, and the target deploy builds fresh ones.
+	for _, ct := range d.ctrl {
+		if ct != nil {
+			ct.Stop()
+		}
+	}
+	d.ctrl = nil
 	d.guest = nil
 	d.migrating = true
 	d.hostIdx = target
@@ -661,8 +711,13 @@ func (cl *RemoteClient) HandleSimEvent(now simtime.Time, ev sim.Payload) {
 		Handler: home.agent.id, Kind: evAgentReq,
 		Owner: cl.dep.id, Arg0: demand, Arg1: int64(cl.TaskIdx)})
 	if cl.Requests <= 0 || cl.sent < cl.Requests {
-		mine.Sim().PostAfter(cl.Inter.Sample(cl.rng),
-			sim.Payload{Handler: cl.id, Kind: evRemoteFire})
+		var gap simtime.Duration
+		if cl.Proc != nil {
+			gap = cl.Proc.Next(now, cl.rng)
+		} else {
+			gap = cl.Inter.Sample(cl.rng)
+		}
+		mine.Sim().PostAfter(gap, sim.Payload{Handler: cl.id, Kind: evRemoteFire})
 	}
 }
 
@@ -690,6 +745,14 @@ func (c *Sharded) DigestString() string {
 			lat := &d.lat[i]
 			fmt.Fprintf(&b, "  task %s released=%d judged=%d missed=%d done=%d maxlat=%d\n",
 				t.Name, st.Released, st.Judged(), st.Missed, lat.Count(), int64(lat.Max()))
+			// Controller lines appear only for adaptive tasks, so digests
+			// of controller-free clusters stay byte-identical to the old
+			// goldens.
+			if ct := d.Controller(i); ct != nil {
+				p := t.Params()
+				fmt.Fprintf(&b, "  ctrl %s incs=%d decs=%d rejects=%d windows=%d skipped=%d slice=%d\n",
+					t.Name, ct.Incs, ct.Decs, ct.Rejects, ct.Windows, ct.Skipped, int64(p.Slice))
+			}
 		}
 	}
 	for i, cl := range c.clients {

@@ -99,6 +99,9 @@ func (cl *RemoteClient) ForkHandler(ctx *clone.Ctx) sim.Handler {
 		id:       cl.id,
 		sent:     cl.sent,
 	}
+	if cl.Proc != nil {
+		ncl.Proc = cl.Proc.Clone()
+	}
 	if cl.rng != nil {
 		ncl.rng = cl.rng.Clone()
 	}
@@ -136,5 +139,13 @@ func cloneShardedDeployment(ctx *clone.Ctx, d *ShardedDeployment) *ShardedDeploy
 		nd.lat[i] = d.lat[i].Clone()
 	}
 	nd.wireStats()
+	if d.ctrl != nil {
+		nd.ctrl = make([]*guest.AdaptiveController, len(d.ctrl))
+		for i, ct := range d.ctrl {
+			if ct != nil {
+				nd.ctrl[i] = ct.ForkHandler(ctx).(*guest.AdaptiveController)
+			}
+		}
+	}
 	return nd
 }

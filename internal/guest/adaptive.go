@@ -1,0 +1,279 @@
+// Adaptive feedback-driven CPU allocation, in the style of the KVM
+// adaptive-allocation work (arXiv 2310.14741): a controller observes one
+// task's tail latency through the trace bus and retunes the task's
+// reservation through the existing sched_setattr → INC/DEC_BW hypercall
+// path. It is the production-shape consumer of the cross-layer interface:
+// reservations follow observed load instead of being declared once.
+package guest
+
+import (
+	"fmt"
+
+	"rtvirt/internal/clone"
+	"rtvirt/internal/sim"
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/task"
+	"rtvirt/internal/trace"
+)
+
+// Typed kernel-event kinds for the AdaptiveController's own handler (the
+// guest OS panics on kinds it does not know, so the controller never
+// shares the OS's handler ID).
+const (
+	// evAdaptiveWindow closes one observation window and retunes.
+	evAdaptiveWindow uint16 = iota
+)
+
+// AdaptiveConfig tunes an AdaptiveController.
+type AdaptiveConfig struct {
+	// Target is the per-window worst response time the controller steers
+	// toward. Required.
+	Target simtime.Duration
+	// Window is the observation window (default 100ms).
+	Window simtime.Duration
+	// MinSlice/MaxSlice bound the retuned slice (defaults: 100µs and the
+	// task's period).
+	MinSlice simtime.Duration
+	MaxSlice simtime.Duration
+	// Step is the multiplicative adjustment per decision (default 0.25:
+	// grow by 25%, shrink by 25%).
+	Step float64
+	// LowFraction is the hysteresis floor: the controller only considers
+	// shrinking when the window max stays under LowFraction·Target
+	// (default 0.5). Between the floor and the target it holds.
+	LowFraction float64
+	// DecreaseAfter is how many consecutive low windows trigger a shrink
+	// (default 3) — the other half of the hysteresis.
+	DecreaseAfter int
+	// Backoff is the number of windows skipped after an admission
+	// rejection (default 2, doubling per consecutive rejection, capped at
+	// 16) so a full host is not hammered with hopeless INC_BW calls.
+	Backoff int
+}
+
+// withDefaults fills the zero fields.
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.Window <= 0 {
+		c.Window = simtime.Millis(100)
+	}
+	if c.MinSlice <= 0 {
+		c.MinSlice = simtime.Micros(100)
+	}
+	if c.Step <= 0 {
+		c.Step = 0.25
+	}
+	if c.LowFraction <= 0 {
+		c.LowFraction = 0.5
+	}
+	if c.DecreaseAfter <= 0 {
+		c.DecreaseAfter = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 2
+	}
+	return c
+}
+
+// AdaptiveController watches one task's completions on the host trace bus
+// and retunes the task's reservation with hysteresis: grow when the
+// window's worst response time breaches the target, shrink only after
+// several consecutive quiet windows, and back off exponentially while the
+// host rejects growth. It is a trace.Sink that only records — all
+// actuation happens in its own kernel event, never on the emit hot path.
+type AdaptiveController struct {
+	cfg AdaptiveConfig
+	g   *OS
+	t   *task.Task
+	id  int32
+
+	// Counters for tests and experiment tables.
+	Incs    int
+	Decs    int
+	Rejects int
+	Windows int
+	Skipped int
+
+	// OnWindow, when set, observes each closed window (now, window max
+	// response, sample count, current slice). Experiment-owned; like the
+	// guest's demand functions it is NOT carried across a fork.
+	OnWindow func(now simtime.Time, winMax simtime.Duration, samples int, slice simtime.Duration)
+
+	winMax    simtime.Duration
+	winCount  int
+	lowStreak int
+	skip      int
+	backoff   int
+	attached  bool
+	stopped   bool
+}
+
+// NewAdaptiveController builds a controller for registered task t on g.
+// Call Start to attach it to the trace bus and begin the window clock.
+func NewAdaptiveController(g *OS, t *task.Task, cfg AdaptiveConfig) (*AdaptiveController, error) {
+	if _, ok := g.tasks[t]; !ok {
+		return nil, ErrUnknownTask
+	}
+	if cfg.Target <= 0 {
+		return nil, fmt.Errorf("guest: adaptive controller needs a positive latency target, got %v", cfg.Target)
+	}
+	c := &AdaptiveController{cfg: cfg.withDefaults(), g: g, t: t}
+	c.backoff = c.cfg.Backoff
+	c.id = g.sim.RegisterHandler(c)
+	return c, nil
+}
+
+// Task returns the controlled task.
+func (c *AdaptiveController) Task() *task.Task { return c.t }
+
+// Config returns the effective configuration (defaults filled).
+func (c *AdaptiveController) Config() AdaptiveConfig { return c.cfg }
+
+// Start attaches the controller to the host trace bus and arms the first
+// window close one Window after at.
+func (c *AdaptiveController) Start(at simtime.Time) {
+	if c.attached || c.stopped {
+		return
+	}
+	c.attached = true
+	c.g.host.TraceTo(c)
+	c.g.sim.PostAt(at.Add(c.cfg.Window), sim.Payload{Handler: c.id, Kind: evAdaptiveWindow})
+}
+
+// Stop halts observation and retuning. The sink stays on the bus but
+// ignores everything; the window clock stops re-arming.
+func (c *AdaptiveController) Stop() { c.stopped = true }
+
+// Consume implements trace.Sink: it records the controlled task's
+// response times and nothing else. Sinks run synchronously on the emit
+// path, so this must never actuate.
+func (c *AdaptiveController) Consume(ev trace.Event) {
+	if c.stopped || ev.Task != c.t.Name || ev.VM != c.g.vm.Name {
+		return
+	}
+	var resp simtime.Duration
+	switch ev.Kind {
+	case trace.JobDone:
+		resp = ev.ArgDuration()
+	case trace.JobMiss:
+		// Arg is lateness past the deadline; response = period + lateness.
+		resp = c.t.Params().Period + ev.ArgDuration()
+	default:
+		return
+	}
+	c.winCount++
+	if resp > c.winMax {
+		c.winMax = resp
+	}
+}
+
+// HandleSimEvent implements sim.Handler.
+func (c *AdaptiveController) HandleSimEvent(now simtime.Time, ev sim.Payload) {
+	switch ev.Kind {
+	case evAdaptiveWindow:
+		if c.stopped {
+			return
+		}
+		c.window(now)
+		c.g.sim.PostAt(now.Add(c.cfg.Window), sim.Payload{Handler: c.id, Kind: evAdaptiveWindow})
+	default:
+		panic(fmt.Sprintf("guest: unknown adaptive event kind %d", ev.Kind))
+	}
+}
+
+// window closes one observation window and decides.
+func (c *AdaptiveController) window(now simtime.Time) {
+	c.Windows++
+	max, n := c.winMax, c.winCount
+	c.winMax, c.winCount = 0, 0
+	p := c.t.Params()
+	if c.OnWindow != nil {
+		c.OnWindow(now, max, n, p.Slice)
+	}
+	if c.skip > 0 {
+		c.skip--
+		c.Skipped++
+		return
+	}
+	if n == 0 {
+		return // idle window: no evidence either way
+	}
+	switch {
+	case max > c.cfg.Target:
+		c.lowStreak = 0
+		hi := p.Period
+		if c.cfg.MaxSlice > 0 && c.cfg.MaxSlice < hi {
+			hi = c.cfg.MaxSlice
+		}
+		next := simtime.Duration(float64(p.Slice) * (1 + c.cfg.Step))
+		if next > hi {
+			next = hi
+		}
+		if next <= p.Slice {
+			return // already at the ceiling
+		}
+		if err := c.g.SetAttr(c.t, task.Params{Slice: next, Period: p.Period}); err != nil {
+			// Host or guest admission said no: back off exponentially so
+			// a full host is not polled every window.
+			c.Rejects++
+			c.skip = c.backoff
+			if c.backoff < 16 {
+				c.backoff *= 2
+			}
+			return
+		}
+		c.Incs++
+		c.backoff = c.cfg.Backoff
+	case float64(max) < c.cfg.LowFraction*float64(c.cfg.Target):
+		c.lowStreak++
+		if c.lowStreak < c.cfg.DecreaseAfter {
+			return
+		}
+		c.lowStreak = 0
+		next := simtime.Duration(float64(p.Slice) * (1 - c.cfg.Step))
+		if next < c.cfg.MinSlice {
+			next = c.cfg.MinSlice
+		}
+		if next >= p.Slice {
+			return // already at the floor
+		}
+		// Shrinks release bandwidth; the guest accepts them by §3.2.
+		if err := c.g.SetAttr(c.t, task.Params{Slice: next, Period: p.Period}); err == nil {
+			c.Decs++
+		}
+	default:
+		c.lowStreak = 0
+	}
+}
+
+// ForkHandler implements sim.Handler: the clone re-attaches itself to the
+// forked host's (fresh) trace bus, so the fork keeps controlling without
+// inheriting the source's sink list. OnWindow is experiment-owned and not
+// carried, like the guest's demand functions.
+func (c *AdaptiveController) ForkHandler(ctx *clone.Ctx) sim.Handler {
+	if n, ok := ctx.Lookup(c); ok {
+		return n.(*AdaptiveController)
+	}
+	nc := &AdaptiveController{
+		cfg:       c.cfg,
+		id:        c.id,
+		Incs:      c.Incs,
+		Decs:      c.Decs,
+		Rejects:   c.Rejects,
+		Windows:   c.Windows,
+		Skipped:   c.Skipped,
+		winMax:    c.winMax,
+		winCount:  c.winCount,
+		lowStreak: c.lowStreak,
+		skip:      c.skip,
+		backoff:   c.backoff,
+		attached:  c.attached,
+		stopped:   c.stopped,
+	}
+	ctx.Put(c, nc)
+	nc.g = clone.Get(ctx, c.g)
+	nc.t = task.Clone(ctx, c.t)
+	if nc.attached && !nc.stopped {
+		nc.g.host.TraceTo(nc)
+	}
+	return nc
+}

@@ -659,6 +659,11 @@ func (g *OS) deriveRes(vs *vcpuState, extra *taskState) hv.Reservation {
 	minP := simtime.Infinite
 	prio := 0
 	for _, ts := range vs.tasks {
+		if ts.t.Kind == task.Background {
+			// BGAs hold no reservation and their zero period must not
+			// drag the VCPU period (and hence the budget) to zero.
+			continue
+		}
 		if p := ts.t.Params().Period; p < minP {
 			minP = p
 		}
@@ -683,7 +688,7 @@ func (g *OS) deriveResExcluding(vs *vcpuState, ex *taskState) hv.Reservation {
 	var sum float64
 	minP := simtime.Infinite
 	for _, ts := range vs.tasks {
-		if ts == ex {
+		if ts == ex || ts.t.Kind == task.Background {
 			continue
 		}
 		sum += ts.t.Params().Bandwidth()

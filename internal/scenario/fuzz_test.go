@@ -24,6 +24,16 @@ func FuzzScenarioJSON(f *testing.F) {
 		"servers":[{"budget_us":4000,"period_us":10000}],
 		"tasks":[{"name":"s","kind":"sporadic","slice_us":100,"period_us":7000,"rate_hz":20}]}]}`))
 	f.Add([]byte(`{"costs":{"hypercall_us":1.5},"vms":[{"name":"c","tasks":[{"name":"bg","kind":"background"}]}]}`))
+	f.Add([]byte(`{"vms":[{"name":"d","tasks":[{"name":"w","kind":"sporadic","slice_us":200,"period_us":5000,
+		"arrivals":{"diurnal":{"base_hz":50,"peak_hz":150,"day_ms":2000,"phase":0.25}},
+		"adaptive":{"target_us":2500,"window_ms":50,"max_slice_us":600}}]}]}`))
+	f.Add([]byte(`{"vms":[{"name":"e","tasks":[{"name":"m","kind":"sporadic","slice_us":100,"period_us":7000,
+		"arrivals":{"mmpp":{"rates_hz":[40,160],"sojourn_ms":[100,100]}}}]}]}`))
+	f.Add([]byte(`{"vms":[{"name":"f","tasks":[{"name":"fc","kind":"sporadic","slice_us":100,"period_us":10000,
+		"arrivals":{"flash":{"base_hz":80,"surges":[{"at_ms":500,"peak_hz":240,"ramp_ms":100,"decay_ms":200}]}}}]}]}`))
+	f.Add([]byte(`{"stack":"credit","vms":[{"name":"g","weight":512,
+		"tasks":[{"name":"ev","kind":"evader","evader":{"tick_us":10000,"guard_us":300}}]}]}`))
+	f.Add([]byte(`{"vms":[{"name":"h","tasks":[{"name":"ev","kind":"evader"}]}]}`))
 	f.Add([]byte(`{"vms":[]}`))
 	f.Add([]byte(`not json`))
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -244,7 +244,7 @@ type ServerSpec struct {
 // TaskSpec describes one application.
 type TaskSpec struct {
 	Name string `json:"name"`
-	// Kind: periodic (default) | sporadic | background.
+	// Kind: periodic (default) | sporadic | background | evader.
 	Kind     string `json:"kind"`
 	SliceUS  int64  `json:"slice_us"`
 	PeriodUS int64  `json:"period_us"`
@@ -255,6 +255,15 @@ type TaskSpec struct {
 	// Priority expresses relative importance (0 = normal); with the VM's
 	// priority_slack it buys proportionally more budget headroom.
 	Priority int `json:"priority"`
+	// Arrivals replaces a sporadic task's closed-form client with an
+	// open-loop production-traffic stream (diurnal/MMPP/flash-crowd).
+	Arrivals *ArrivalSpec `json:"arrivals,omitempty"`
+	// Adaptive attaches a feedback controller that retunes the task's
+	// slice from observed response times via INC/DEC_BW.
+	Adaptive *AdaptiveSpec `json:"adaptive,omitempty"`
+	// Evader tunes a kind:"evader" tick-evasion attacker (optional; the
+	// zero config learns the tick period).
+	Evader *EvaderSpec `json:"evader,omitempty"`
 }
 
 // TaskResult is one task's outcome.
@@ -373,9 +382,35 @@ func (sc Scenario) Validate() error {
 					return fmt.Errorf("scenario: task %q has invalid (slice=%dµs, period=%dµs)",
 						ts.Name, ts.SliceUS, ts.PeriodUS)
 				}
-			case "background":
+			case "background", "evader":
 			default:
 				return fmt.Errorf("scenario: task %q has unknown kind %q", ts.Name, ts.Kind)
+			}
+			if ts.Arrivals != nil {
+				if ts.Kind != "sporadic" {
+					return fmt.Errorf("scenario: task %q has an arrivals block but kind %q (arrivals drive sporadic tasks)",
+						ts.Name, ts.Kind)
+				}
+				if err := ts.Arrivals.validate(ts.Name); err != nil {
+					return err
+				}
+			}
+			if ts.Adaptive != nil {
+				if ts.Kind == "background" || ts.Kind == "evader" {
+					return fmt.Errorf("scenario: task %q has an adaptive block but kind %q (controllers retune RT reservations)",
+						ts.Name, ts.Kind)
+				}
+				if err := ts.Adaptive.validate(ts.Name); err != nil {
+					return err
+				}
+			}
+			if ts.Evader != nil {
+				if ts.Kind != "evader" {
+					return fmt.Errorf("scenario: task %q has an evader block but kind %q", ts.Name, ts.Kind)
+				}
+				if err := ts.Evader.validate(ts.Name); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -399,13 +434,16 @@ type Options struct {
 	OnSystem func(*core.System)
 }
 
-// bound ties a task spec to its built task, guest, and latency recorder.
+// bound ties a task spec to its built task, guest, and latency recorder,
+// plus whichever driver (controller, evader) the spec attached.
 type bound struct {
-	spec  TaskSpec
-	vm    string
-	task  *task.Task
-	guest *guest.OS
-	lat   *metrics.LatencyRecorder
+	spec   TaskSpec
+	vm     string
+	task   *task.Task
+	guest  *guest.OS
+	lat    *metrics.LatencyRecorder
+	ctrl   *guest.AdaptiveController
+	evader *workload.TickEvader
 }
 
 // World is a built-but-not-started scenario: the system is constructed,
@@ -428,6 +466,30 @@ type World struct {
 // (the costs.network_delay_us override, or the workload default). Sharded
 // runs built from the same scenario use it as their lookahead bound.
 func (w *World) NetworkDelay() simtime.Duration { return w.netDelay }
+
+// Controllers returns the adaptive controllers the scenario attached, in
+// task declaration order.
+func (w *World) Controllers() []*guest.AdaptiveController {
+	var cs []*guest.AdaptiveController
+	for i := range w.all {
+		if w.all[i].ctrl != nil {
+			cs = append(cs, w.all[i].ctrl)
+		}
+	}
+	return cs
+}
+
+// Evaders returns the tick-evasion attackers the scenario attached, in
+// task declaration order.
+func (w *World) Evaders() []*workload.TickEvader {
+	var es []*workload.TickEvader
+	for i := range w.all {
+		if w.all[i].evader != nil {
+			es = append(es, w.all[i].evader)
+		}
+	}
+	return es
+}
 
 // Run executes the scenario and returns its results.
 func Run(sc Scenario, opts Options) (*Result, error) {
@@ -496,7 +558,22 @@ func Build(sc Scenario, opts Options) (*World, error) {
 				return nil, fmt.Errorf("scenario: vm %q task %q: %w", vmSpec.Name, ts.Name, err)
 			}
 			id++
-			all = append(all, bound{spec: ts, vm: vmSpec.Name, task: tk, guest: g})
+			b := bound{spec: ts, vm: vmSpec.Name, task: tk, guest: g}
+			if ts.Kind == "evader" {
+				ev, err := workload.NewTickEvaderFor(g, tk, ts.Evader.evaderConfig())
+				if err != nil {
+					return nil, fmt.Errorf("scenario: vm %q task %q: %w", vmSpec.Name, ts.Name, err)
+				}
+				b.evader = ev
+			}
+			if ts.Adaptive != nil {
+				ctrl, err := guest.NewAdaptiveController(g, tk, ts.Adaptive.adaptiveConfig())
+				if err != nil {
+					return nil, fmt.Errorf("scenario: vm %q task %q: %w", vmSpec.Name, ts.Name, err)
+				}
+				b.ctrl = ctrl
+			}
+			all = append(all, b)
 		}
 	}
 
@@ -524,6 +601,14 @@ func (w *World) Start() {
 			b.guest.StartPeriodic(b.task,
 				simtime.Time(simtime.Millis(b.spec.PhaseMS)))
 		case "sporadic":
+			if b.spec.Arrivals != nil {
+				client := workload.NewOpenLoopClientFor(b.guest, b.task,
+					b.spec.Arrivals.process())
+				client.NetworkDelay = w.netDelay
+				b.lat = &client.Latency
+				client.Start(0)
+				break
+			}
 			rate := b.spec.RateHz
 			if rate <= 0 {
 				rate = 10
@@ -540,6 +625,15 @@ func (w *World) Start() {
 			w.Sys.Sim.At(0, func(now simtime.Time) {
 				g.ReleaseJob(tk, simtime.Duration(1<<60))
 			})
+		case "evader":
+			b.evader.Start(0)
+		}
+	}
+	// Controllers start after every workload so their first window sees a
+	// fully-released system; the loop order keeps starts deterministic.
+	for i := range w.all {
+		if w.all[i].ctrl != nil {
+			w.all[i].ctrl.Start(0)
 		}
 	}
 }
@@ -617,7 +711,7 @@ func makeGuest(sys *core.System, stack core.Stack, vm VM) (*guest.OS, error) {
 
 func makeTask(g *guest.OS, id int, ts TaskSpec) (*task.Task, error) {
 	switch ts.Kind {
-	case "background":
+	case "background", "evader":
 		t := task.NewBackground(id, ts.Name)
 		return t, g.Register(t)
 	case "sporadic":

@@ -1,0 +1,82 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"rtvirt/internal/check"
+	"rtvirt/internal/core"
+	"rtvirt/internal/eventq"
+	"rtvirt/internal/scenario"
+	"rtvirt/internal/sim"
+	"rtvirt/internal/simtime"
+)
+
+// trafficScenario exercises all three open-loop traffic models at once on
+// a contended RTVirt host, so the dispatch stream depends on every
+// arrival process.
+func trafficScenario() scenario.Scenario {
+	return scenario.Scenario{
+		Stack:   "rtvirt",
+		PCPUs:   2,
+		Seconds: 2,
+		Seed:    21,
+		VMs: []scenario.VM{
+			{
+				Name: "front",
+				Tasks: []scenario.TaskSpec{
+					{Name: "web", Kind: "sporadic", SliceUS: 300, PeriodUS: 4000,
+						Arrivals: &scenario.ArrivalSpec{Diurnal: &scenario.DiurnalSpec{
+							BaseHz: 40, PeakHz: 300, DayMS: 500}}},
+					{Name: "api", Kind: "sporadic", SliceUS: 200, PeriodUS: 3000,
+						Arrivals: &scenario.ArrivalSpec{MMPP: &scenario.MMPPSpec{
+							RatesHz: []float64{50, 250}, SojournMS: []int64{80, 40}}}},
+				},
+			},
+			{
+				Name: "back",
+				Tasks: []scenario.TaskSpec{
+					{Name: "burst", Kind: "sporadic", SliceUS: 250, PeriodUS: 5000,
+						Arrivals: &scenario.ArrivalSpec{Flash: &scenario.FlashCrowdSpec{
+							BaseHz: 30, Surges: []scenario.SurgeSpec{
+								{AtMS: 500, PeakHz: 500, RampMS: 100, DecayMS: 400}}}}},
+					{Name: "rt", SliceUS: 800, PeriodUS: 10000},
+				},
+			},
+		},
+	}
+}
+
+// TestTrafficBackendDeterminism runs the same seeded traffic scenario
+// under both event-queue backends and requires an identical dispatch
+// digest: open-loop arrival streams are a pure function of the seed, not
+// of the queue's internal ordering.
+func TestTrafficBackendDeterminism(t *testing.T) {
+	run := func(b eventq.Backend) (uint64, int) {
+		t.Helper()
+		old := sim.DefaultBackend
+		sim.DefaultBackend = b
+		defer func() { sim.DefaultBackend = old }()
+
+		dig := check.NewDispatchDigest()
+		w, err := scenario.Build(trafficScenario(), scenario.Options{
+			OnSystem: func(sys *core.System) { sys.Host.TraceTo(dig) },
+		})
+		if err != nil {
+			t.Fatalf("scenario.Build: %v", err)
+		}
+		w.Start()
+		w.Sys.Run(simtime.Seconds(2))
+		w.Sys.Host.Sync()
+		return dig.Sum(), dig.Events()
+	}
+
+	heapSum, heapN := run(eventq.BackendHeap)
+	wheelSum, wheelN := run(eventq.BackendWheel)
+	if heapN < 1000 {
+		t.Fatalf("only %d dispatch events; traffic scenario is degenerate", heapN)
+	}
+	if heapSum != wheelSum || heapN != wheelN {
+		t.Errorf("backends diverge: heap digest %x (%d events), wheel %x (%d events)",
+			heapSum, heapN, wheelSum, wheelN)
+	}
+}

@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rtvirt/internal/simtime"
+)
+
+// wrap embeds one task-level JSON fragment into a minimal scenario.
+func wrap(taskJSON string) string {
+	return `{"vms":[{"name":"v","tasks":[` + taskJSON + `]}]}`
+}
+
+// TestWorkloadBlockValidation drives the strict validation of the
+// arrivals/adaptive/evader blocks: every malformed fragment must be
+// rejected at Parse or Validate, every well-formed one accepted.
+func TestWorkloadBlockValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		ok   bool
+	}{
+		{"poisson ok", `{"name":"t","kind":"sporadic","slice_us":100,"period_us":5000,
+			"arrivals":{"poisson":{"rate_hz":50}}}`, true},
+		{"diurnal ok", `{"name":"t","kind":"sporadic","slice_us":100,"period_us":5000,
+			"arrivals":{"diurnal":{"base_hz":10,"peak_hz":90,"day_ms":1000,"phase":0.5}}}`, true},
+		{"mmpp ok", `{"name":"t","kind":"sporadic","slice_us":100,"period_us":5000,
+			"arrivals":{"mmpp":{"rates_hz":[20,80],"sojourn_ms":[50,150]}}}`, true},
+		{"flash ok", `{"name":"t","kind":"sporadic","slice_us":100,"period_us":5000,
+			"arrivals":{"flash":{"base_hz":40,"surges":[{"at_ms":100,"peak_hz":120,"ramp_ms":50,"decay_ms":80}]}}}`, true},
+		{"adaptive ok", `{"name":"t","slice_us":100,"period_us":5000,
+			"adaptive":{"target_us":2000}}`, true},
+		{"evader ok", `{"name":"t","kind":"evader","evader":{"tick_us":10000}}`, true},
+		{"evader zero block", `{"name":"t","kind":"evader"}`, true},
+
+		{"arrivals empty", `{"name":"t","kind":"sporadic","slice_us":100,"period_us":5000,
+			"arrivals":{}}`, false},
+		{"arrivals two forms", `{"name":"t","kind":"sporadic","slice_us":100,"period_us":5000,
+			"arrivals":{"poisson":{"rate_hz":50},"mmpp":{"rates_hz":[1],"sojourn_ms":[1]}}}`, false},
+		{"arrivals on periodic", `{"name":"t","slice_us":100,"period_us":5000,
+			"arrivals":{"poisson":{"rate_hz":50}}}`, false},
+		{"arrivals unknown field", `{"name":"t","kind":"sporadic","slice_us":100,"period_us":5000,
+			"arrivals":{"poisson":{"rate_hz":50,"burst":3}}}`, false},
+		{"poisson zero rate", `{"name":"t","kind":"sporadic","slice_us":100,"period_us":5000,
+			"arrivals":{"poisson":{"rate_hz":0}}}`, false},
+		{"diurnal base above peak", `{"name":"t","kind":"sporadic","slice_us":100,"period_us":5000,
+			"arrivals":{"diurnal":{"base_hz":90,"peak_hz":10,"day_ms":1000}}}`, false},
+		{"diurnal zero day", `{"name":"t","kind":"sporadic","slice_us":100,"period_us":5000,
+			"arrivals":{"diurnal":{"base_hz":10,"peak_hz":90,"day_ms":0}}}`, false},
+		{"diurnal phase out of range", `{"name":"t","kind":"sporadic","slice_us":100,"period_us":5000,
+			"arrivals":{"diurnal":{"base_hz":10,"peak_hz":90,"day_ms":1000,"phase":1}}}`, false},
+		{"mmpp length mismatch", `{"name":"t","kind":"sporadic","slice_us":100,"period_us":5000,
+			"arrivals":{"mmpp":{"rates_hz":[20,80],"sojourn_ms":[50]}}}`, false},
+		{"mmpp zero sojourn", `{"name":"t","kind":"sporadic","slice_us":100,"period_us":5000,
+			"arrivals":{"mmpp":{"rates_hz":[20],"sojourn_ms":[0]}}}`, false},
+		{"flash zero ramp", `{"name":"t","kind":"sporadic","slice_us":100,"period_us":5000,
+			"arrivals":{"flash":{"base_hz":40,"surges":[{"at_ms":0,"peak_hz":120,"ramp_ms":0,"decay_ms":80}]}}}`, false},
+
+		{"adaptive zero target", `{"name":"t","slice_us":100,"period_us":5000,
+			"adaptive":{"target_us":0}}`, false},
+		{"adaptive min above max", `{"name":"t","slice_us":100,"period_us":5000,
+			"adaptive":{"target_us":2000,"min_slice_us":500,"max_slice_us":200}}`, false},
+		{"adaptive step one", `{"name":"t","slice_us":100,"period_us":5000,
+			"adaptive":{"target_us":2000,"step":1}}`, false},
+		{"adaptive low fraction above one", `{"name":"t","slice_us":100,"period_us":5000,
+			"adaptive":{"target_us":2000,"low_fraction":1.5}}`, false},
+		{"adaptive on background", `{"name":"t","kind":"background",
+			"adaptive":{"target_us":2000}}`, false},
+		{"adaptive on evader", `{"name":"t","kind":"evader",
+			"adaptive":{"target_us":2000}}`, false},
+
+		{"evader block on periodic", `{"name":"t","slice_us":100,"period_us":5000,
+			"evader":{"tick_us":10000}}`, false},
+		{"evader negative tick", `{"name":"t","kind":"evader","evader":{"tick_us":-1}}`, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sc, err := Parse(strings.NewReader(wrap(c.json)))
+			if err == nil {
+				err = sc.Validate()
+			}
+			if c.ok && err != nil {
+				t.Fatalf("expected valid, got: %v", err)
+			}
+			if !c.ok && err == nil {
+				t.Fatalf("expected rejection, got none")
+			}
+		})
+	}
+}
+
+// TestWorkloadBlockRoundTrip pins the canonical marshal: a scenario with
+// all three blocks survives marshal → re-parse bit-exactly, and absent
+// blocks stay absent in the output.
+func TestWorkloadBlockRoundTrip(t *testing.T) {
+	raw := `{"stack":"credit","pcpus":2,"seconds":3,"seed":9,"vms":[
+		{"name":"a","weight":256,"tasks":[
+			{"name":"web","kind":"sporadic","slice_us":200,"period_us":5000,"rate_hz":80,
+			 "arrivals":{"flash":{"base_hz":60,"surges":[{"at_ms":250,"peak_hz":200,"ramp_ms":100,"decay_ms":150}]}},
+			 "adaptive":{"target_us":2500,"window_ms":40,"max_slice_us":700,"step":0.5}},
+			{"name":"ev","kind":"evader","evader":{"tick_us":10000}}]},
+		{"name":"b","tasks":[{"name":"p","slice_us":300,"period_us":10000}]}]}`
+	sc, err := Parse(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(out))
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if !reflect.DeepEqual(sc, back) {
+		t.Fatalf("round trip changed the scenario:\nin:  %+v\nout: %+v", sc, back)
+	}
+	if strings.Contains(string(out), `"arrivals":{}`) ||
+		strings.Contains(string(out), `"adaptive":null`) {
+		t.Fatalf("non-canonical marshal: %s", out)
+	}
+	plain, _ := json.Marshal(sc.VMs[1].Tasks[0])
+	for _, field := range []string{"arrivals", "adaptive", "evader"} {
+		if strings.Contains(string(plain), field) {
+			t.Fatalf("absent %s block marshaled: %s", field, plain)
+		}
+	}
+}
+
+// TestScenarioWiresWorkloadBlocks builds a world carrying all three
+// blocks and checks the drivers exist and actually run: the evader
+// releases jobs, the open-loop stream offers requests, and the controller
+// closes observation windows.
+func TestScenarioWiresWorkloadBlocks(t *testing.T) {
+	raw := `{"stack":"credit","pcpus":2,"seconds":2,"seed":3,"vms":[
+		{"name":"atk","weight":256,"tasks":[
+			{"name":"ev","kind":"evader","evader":{"tick_us":10000}}]},
+		{"name":"svc","weight":256,"tasks":[
+			{"name":"web","kind":"sporadic","slice_us":200,"period_us":5000,"rate_hz":100,
+			 "arrivals":{"mmpp":{"rates_hz":[50,150],"sojourn_ms":[100,100]}},
+			 "adaptive":{"target_us":2500,"window_ms":50,"max_slice_us":600}}]}]}`
+	sc, err := Parse(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Build(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(w.Evaders()); n != 1 {
+		t.Fatalf("Evaders() = %d, want 1", n)
+	}
+	if n := len(w.Controllers()); n != 1 {
+		t.Fatalf("Controllers() = %d, want 1", n)
+	}
+	w.Start()
+	w.Sys.Run(simtime.Duration(w.Seconds) * simtime.Second)
+	res := w.Finish()
+
+	ev := w.Evaders()[0]
+	if ev.Bursts == 0 {
+		t.Errorf("evader never attacked: probes=%d bursts=%d", ev.Probes, ev.Bursts)
+	}
+	ctrl := w.Controllers()[0]
+	if ctrl.Windows == 0 {
+		t.Errorf("controller closed no windows")
+	}
+	var web *TaskResult
+	for i := range res.Tasks {
+		if res.Tasks[i].Name == "web" {
+			web = &res.Tasks[i]
+		}
+	}
+	if web == nil || web.Stats.Released == 0 {
+		t.Fatalf("open-loop stream released nothing: %+v", web)
+	}
+	if web.Latency == nil || web.Latency.Count() == 0 {
+		t.Errorf("open-loop latency recorder empty")
+	}
+}

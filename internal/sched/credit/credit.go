@@ -65,6 +65,15 @@ type Config struct {
 	// positive TickCost still wins over the model for old configs and
 	// scenario JSON; leave it zero to use the model's term.
 	TickCost simtime.Duration
+	// SampledAccounting switches credit burn from exact settle-on-switch
+	// to tick sampling: whoever occupies a PCPU when the tick fires is
+	// debited one full TickEvery, and runs between ticks are never
+	// charged. This is the pre-fix Xen behaviour Zhou et al. exploit
+	// ("Scheduler Vulnerabilities and Attacks in Cloud Computing"): a VCPU
+	// that sleeps across every tick obtains CPU for free. It exists as the
+	// deliberately-naive double for workload.StolenBWMeter's negative
+	// tests and the attacks experiment — never enable it elsewhere.
+	SampledAccounting bool
 }
 
 // DefaultConfig returns stock Xen Credit parameters. The tick cost is no
@@ -94,6 +103,11 @@ type vcpuState struct {
 	// the VCPU is parked until the next accounting refill, even if the
 	// host is otherwise idle.
 	cap float64
+	// charged is the cumulative CPU time this scheduler has debited the
+	// VCPU for (exact: every settled run; sampled: one TickEvery per tick
+	// it was caught occupying a PCPU). workload.StolenBWMeter compares it
+	// against the CPU time actually obtained.
+	charged simtime.Duration
 }
 
 // Scheduler is the Credit scheduler.
@@ -204,6 +218,17 @@ func (s *Scheduler) CapOf(v *hv.VCPU) float64 {
 	return 0
 }
 
+// ChargedOf reports the cumulative CPU time this scheduler has debited v
+// for. Under exact accounting it equals the CPU time v obtained (modulo
+// the currently-open run, settled on the next switch or Sync); under
+// SampledAccounting it is whatever the ticks happened to observe.
+func (s *Scheduler) ChargedOf(v *hv.VCPU) simtime.Duration {
+	if s.managed(v) {
+		return s.st[v.ID].charged
+	}
+	return 0
+}
+
 // RemoveVCPU implements hv.HostScheduler.
 func (s *Scheduler) RemoveVCPU(v *hv.VCPU, now simtime.Time) {
 	for i, x := range s.vcpus {
@@ -273,8 +298,25 @@ func (s *Scheduler) tick(now simtime.Time) {
 	}
 	for _, p := range s.h.PCPUs() {
 		if cur := p.Current(); cur != nil {
-			if s.managed(cur) && s.st[cur.ID].boost {
-				s.st[cur.ID].boost = false
+			if s.managed(cur) {
+				st := &s.st[cur.ID]
+				if st.boost {
+					st.boost = false
+				}
+				if s.cfg.SampledAccounting {
+					// Tick sampling: the occupant is presumed to have run
+					// the whole interval since the last tick. Deplete's
+					// overdraw Arg stays zero — sampling overdraws the cap
+					// by construction, and flagging the naive double is the
+					// stolen-bandwidth meter's job, not BudgetOracle's.
+					had := st.credits > 0
+					st.credits -= s.cfg.TickEvery
+					st.charged += s.cfg.TickEvery
+					if had && st.credits <= 0 && s.h.Tracing() {
+						s.h.Emit(trace.Event{At: now, Kind: trace.Deplete,
+							PCPU: p.ID, VM: cur.VM.Name, VCPU: cur.Index})
+					}
+				}
 			}
 			if c := s.h.DrawCost(tickCost); c > 0 {
 				s.h.Overhead.ScheduleCalls++
@@ -285,14 +327,22 @@ func (s *Scheduler) tick(now simtime.Time) {
 	s.h.Sim.PostAt(now.Add(s.cfg.TickEvery), sim.Payload{Handler: s.id, Kind: evTick})
 }
 
-// settle burns credits for a running VCPU up to now.
+// settle burns credits for a running VCPU up to now. Under sampled
+// accounting nothing burns here — the tick is the only debit point — but
+// lastAt still advances (the ratelimit measures runs from it).
 func (s *Scheduler) settle(v *hv.VCPU, now simtime.Time) {
 	st := s.state(v)
 	if st.runningOn < 0 {
 		return
 	}
+	if s.cfg.SampledAccounting {
+		st.lastAt = now
+		return
+	}
 	had := st.credits > 0
-	st.credits -= now.Sub(st.lastAt)
+	elapsed := now.Sub(st.lastAt)
+	st.credits -= elapsed
+	st.charged += elapsed
 	st.lastAt = now
 	// The UNDER→OVER transition is Credit's budget-exhaustion moment. For
 	// a capped VCPU, Arg carries the overdraw past the cap boundary:
@@ -427,8 +477,12 @@ func (s *Scheduler) Schedule(p *hv.PCPU, now simtime.Time) hv.Decision {
 	st.runningOn = pid
 	st.lastAt = now
 	run := s.cfg.Timeslice
-	if st.cap > 0 && st.credits < run {
-		run = st.credits // park exactly at the cap boundary
+	if !s.cfg.SampledAccounting && st.cap > 0 && st.credits < run {
+		// Exact accounting parks exactly at the cap boundary. Under
+		// sampled accounting credits only move at ticks, so clamping to
+		// them would grant ever-shrinking slices without ever parking;
+		// the full timeslice runs and the tick does the (mis)accounting.
+		run = st.credits
 		if run <= 0 {
 			run = 1
 		}

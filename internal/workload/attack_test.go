@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"testing"
+
+	"rtvirt/internal/core"
+	"rtvirt/internal/simtime"
+	"rtvirt/internal/trace"
+)
+
+// TestStolenBWMeterIntervals pins the meter's integration semantics on a
+// synthetic dispatch stream: per-VM occupancy summed across PCPUs, idle
+// gaps ignored, open intervals settled at Close.
+func TestStolenBWMeterIntervals(t *testing.T) {
+	m := NewStolenBWMeter(2)
+	at := func(ms int64) simtime.Time { return simtime.Time(0).Add(simtime.Millis(ms)) }
+	ev := func(p int, ms int64, vm string) trace.Event {
+		return trace.Event{Kind: trace.Dispatch, PCPU: p, At: at(ms), VM: vm}
+	}
+	m.Consume(ev(0, 0, "a"))
+	m.Consume(ev(0, 10, "b"))                                                // a ran 0–10 on pcpu0
+	m.Consume(ev(1, 5, "a"))                                                 // a also runs 5–15 on pcpu1
+	m.Consume(ev(1, 15, ""))                                                 // pcpu1 idle from 15
+	m.Consume(ev(0, 30, ""))                                                 // b ran 10–30
+	m.Consume(ev(2, 1, "x"))                                                 // out-of-range PCPU: ignored
+	m.Consume(ev(-1, 1, "x"))                                                // negative PCPU: ignored
+	m.Consume(trace.Event{Kind: trace.JobDone, PCPU: 0, At: at(2), VM: "x"}) // wrong kind
+	m.Close(at(40))
+
+	if got, want := m.Obtained("a"), simtime.Millis(20); got != want {
+		t.Errorf("Obtained(a) = %v, want %v", got, want)
+	}
+	if got, want := m.Obtained("b"), simtime.Millis(20); got != want {
+		t.Errorf("Obtained(b) = %v, want %v", got, want)
+	}
+	if got := m.Obtained("x"); got != 0 {
+		t.Errorf("Obtained(x) = %v, want 0", got)
+	}
+	// 20ms over a 40ms span on a 2-PCPU host = 0.5 CPUs of bandwidth.
+	if got := m.ObtainedBW("a"); got != 0.5 {
+		t.Errorf("ObtainedBW(a) = %v, want 0.5", got)
+	}
+	// Charged 8ms of the 20 obtained: 12ms stolen over 40ms = 0.3 CPUs.
+	if got := m.StolenBW("a", simtime.Millis(8)); got != 0.3 {
+		t.Errorf("StolenBW(a, 8ms) = %v, want 0.3", got)
+	}
+}
+
+// TestStolenBWMeterUnclosed: bandwidth reads before Close must return 0
+// rather than a bogus partial figure.
+func TestStolenBWMeterUnclosed(t *testing.T) {
+	m := NewStolenBWMeter(1)
+	m.Consume(trace.Event{Kind: trace.Dispatch, PCPU: 0, At: 0, VM: "a"})
+	if m.ObtainedBW("a") != 0 || m.StolenBW("a", 0) != 0 {
+		t.Fatal("bandwidth read before Close must be 0")
+	}
+}
+
+// TestTickEvaderLearnsPeriod runs the learning attacker on a real Credit
+// host with a competing hog and checks it recovers the 10ms tick period
+// from latency spikes alone, then sustains the attack.
+func TestTickEvaderLearnsPeriod(t *testing.T) {
+	cfg := core.DefaultConfig(core.Credit)
+	cfg.PCPUs = 1
+	cfg.Seed = 5
+	// The paper's latency-sensitive ratelimit, so post-tick wakeups are
+	// prompt enough for the guard margin (see the attacks experiment).
+	cfg.Credit.Ratelimit = simtime.Micros(500)
+	cfg.Credit.SampledAccounting = true
+	sys := core.NewSystem(cfg)
+
+	victim, err := sys.NewWeightedGuest("victim", 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker, err := sys.NewWeightedGuest("attacker", 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hog, err := NewCPUHog(victim, 0, "hog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewTickEvader(attacker, 1, "evade", DefaultEvaderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys.Start()
+	hog.Start(0)
+	ev.Start(0)
+	sys.Run(simtime.Seconds(3))
+
+	if p := ev.Period(); p < simtime.Millis(9) || p > simtime.Millis(11) {
+		t.Fatalf("learned period %v, want ~10ms (probes %d, spikes collected before attack)", p, ev.Probes)
+	}
+	if ev.Bursts < 50 {
+		t.Errorf("only %d bursts after learning (resyncs %d)", ev.Bursts, ev.Resyncs)
+	}
+	if ev.BurstWork == 0 {
+		t.Errorf("no clean burst work recorded")
+	}
+}
+
+// TestTickEvaderConfigValidation: nonsensical configs must fail at
+// construction.
+func TestTickEvaderConfigValidation(t *testing.T) {
+	sys := core.NewSystem(core.DefaultConfig(core.Credit))
+	g, err := sys.NewWeightedGuest("g", 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []EvaderConfig{
+		{},
+		{ProbeDemand: 1, ProbeGap: 1, ProbeSpikes: 5, SpikeMin: 10, SpikeMax: 5, Guard: 1},
+		{ProbeDemand: 1, ProbeGap: 1, ProbeSpikes: 1, SpikeMin: 1, SpikeMax: 5, Guard: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewTickEvader(g, i, "e", cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

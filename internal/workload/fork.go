@@ -119,6 +119,54 @@ func (a *IOApp) ForkHandler(ctx *clone.Ctx) sim.Handler {
 	return na
 }
 
+// ForkHandler implements sim.Handler.
+func (c *OpenLoopClient) ForkHandler(ctx *clone.Ctx) sim.Handler {
+	if n, ok := ctx.Lookup(c); ok {
+		return n.(*OpenLoopClient)
+	}
+	nc := &OpenLoopClient{
+		Task:         task.Clone(ctx, c.Task),
+		Guest:        clone.Get(ctx, c.Guest),
+		Arrivals:     c.Arrivals.Clone(),
+		NetworkDelay: c.NetworkDelay,
+		Service:      c.Service,
+		Latency:      c.Latency.Clone(),
+		Offered:      c.Offered,
+		Throttled:    c.Throttled,
+		sim:          clone.Get(ctx, c.sim),
+		rng:          cloneRNG(c.rng),
+		id:           c.id,
+	}
+	ctx.Put(c, nc)
+	nc.Task.OnJobDone = nc.jobDone
+	return nc
+}
+
+// ForkHandler implements sim.Handler.
+func (e *TickEvader) ForkHandler(ctx *clone.Ctx) sim.Handler {
+	if n, ok := ctx.Lookup(e); ok {
+		return n.(*TickEvader)
+	}
+	ne := &TickEvader{
+		Task:      task.Clone(ctx, e.Task),
+		Guest:     clone.Get(ctx, e.Guest),
+		Cfg:       e.Cfg,
+		Probes:    e.Probes,
+		Bursts:    e.Bursts,
+		Resyncs:   e.Resyncs,
+		BurstWork: e.BurstWork,
+		phase:     e.phase,
+		period:    e.period,
+		nextTick:  e.nextTick,
+		spikes:    append([]simtime.Time(nil), e.spikes...),
+		sim:       clone.Get(ctx, e.sim),
+		id:        e.id,
+	}
+	ctx.Put(e, ne)
+	ne.Task.OnJobDone = ne.jobDone
+	return ne
+}
+
 // cloneRNG copies a workload's split RNG stream; nil before Start.
 func cloneRNG(r *sim.RNG) *sim.RNG {
 	if r == nil {

@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"rtvirt/internal/sim"
+	"rtvirt/internal/simtime"
+)
+
+// countArrivals drives p directly over horizon and returns the number of
+// arrivals it generates.
+func countArrivals(p ArrivalProcess, seed uint64, horizon simtime.Duration) int {
+	rng := sim.NewRNG(seed)
+	t := simtime.Time(0)
+	end := simtime.Time(0).Add(horizon)
+	n := 0
+	for {
+		t = t.Add(p.Next(t, rng))
+		if t.After(end) {
+			return n
+		}
+		n++
+	}
+}
+
+// TestArrivalProcessRates checks every traffic model's empirical arrival
+// count over a long horizon against its analytic expectation: a table of
+// (process, expected arrivals) with a CLT-scale tolerance. 50 virtual
+// seconds puts thousands of arrivals in each cell, so 10% is generous
+// without being vacuous.
+func TestArrivalProcessRates(t *testing.T) {
+	const horizonS = 50
+	horizon := simtime.Seconds(horizonS)
+	day := simtime.Seconds(2)
+	cases := []struct {
+		name string
+		mk   func() ArrivalProcess
+		want float64 // expected arrivals over the horizon
+	}{
+		{"poisson", func() ArrivalProcess { return Poisson{RateHz: 80} }, 80 * horizonS},
+		// Whole days (25 of them), so the sine averages out exactly.
+		{"diurnal", func() ArrivalProcess {
+			return Diurnal{BaseHz: 20, PeakHz: 180, Day: day}
+		}, (20 + 180) / 2 * horizonS},
+		{"diurnal phased", func() ArrivalProcess {
+			return Diurnal{BaseHz: 20, PeakHz: 180, Day: day, Phase: 0.5}
+		}, (20 + 180) / 2 * horizonS},
+		// Stationary rate Σλᵢsᵢ/Σsᵢ = (40·100 + 160·300)/400 = 130.
+		{"mmpp", func() ArrivalProcess {
+			return NewMMPP([]float64{40, 160},
+				[]simtime.Duration{simtime.Millis(100), simtime.Millis(300)})
+		}, 130 * horizonS},
+		// Base floor plus one surge triangle of PeakHz·(Ramp+Decay)/2.
+		{"flash", func() ArrivalProcess {
+			return FlashCrowd{BaseHz: 60, Surges: []Surge{
+				{At: simtime.Time(0).Add(simtime.Seconds(10)), PeakHz: 400,
+					Ramp: simtime.Seconds(2), Decay: simtime.Seconds(6)},
+			}}
+		}, 60*horizonS + 400*(2+6)/2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := float64(countArrivals(c.mk(), 11, horizon))
+			if math.Abs(got-c.want) > 0.10*c.want {
+				t.Errorf("%s: %v arrivals over %ds, want %v ±10%%",
+					c.mk(), got, horizonS, c.want)
+			}
+			// Same seed, fresh process: the stream is a pure function of
+			// the seed (the MMPP carries state, hence mk() twice).
+			again := float64(countArrivals(c.mk(), 11, horizon))
+			if got != again {
+				t.Errorf("%s: same seed produced %v then %v arrivals", c.mk(), got, again)
+			}
+		})
+	}
+}
+
+// TestDiurnalTroughVsPeak checks the modulation actually modulates: the
+// first quarter-day around the trough must see far fewer arrivals than
+// the quarter around the peak.
+func TestDiurnalTroughVsPeak(t *testing.T) {
+	d := Diurnal{BaseHz: 10, PeakHz: 400, Day: simtime.Seconds(40)}
+	rng := sim.NewRNG(3)
+	trough, peak := 0, 0
+	// Trough window: [0, 5s) after t=0; peak window: [17.5s, 22.5s).
+	tt := simtime.Time(0)
+	for {
+		tt = tt.Add(d.Next(tt, rng))
+		switch sec := float64(tt.Sub(0)) / float64(simtime.Second); {
+		case sec < 5:
+			trough++
+		case sec >= 17.5 && sec < 22.5:
+			peak++
+		case sec >= 40:
+			if peak < 5*trough {
+				t.Fatalf("diurnal barely modulates: %d arrivals near trough, %d near peak", trough, peak)
+			}
+			return
+		}
+	}
+}
+
+// TestMMPPCloneContinuation pins Clone's deep-copy contract: a clone taken
+// mid-stream must continue exactly like the original under an identical
+// RNG, and diverging the original must not disturb the clone's state.
+func TestMMPPCloneContinuation(t *testing.T) {
+	m := NewMMPP([]float64{50, 200},
+		[]simtime.Duration{simtime.Millis(80), simtime.Millis(40)})
+	rng := sim.NewRNG(7)
+	tt := simtime.Time(0)
+	for i := 0; i < 500; i++ {
+		tt = tt.Add(m.Next(tt, rng))
+	}
+	cl := m.Clone()
+	rngA, rngB := rng.Clone(), rng.Clone()
+	ta, tb := tt, tt
+	for i := 0; i < 500; i++ {
+		ga, gb := m.Next(ta, rngA), cl.Next(tb, rngB)
+		if ga != gb {
+			t.Fatalf("clone diverged at arrival %d: %v vs %v", i, ga, gb)
+		}
+		ta, tb = ta.Add(ga), tb.Add(gb)
+	}
+}
+
+// TestNewMMPPPanics: misconfigured models must fail at construction.
+func TestNewMMPPPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":    func() { NewMMPP(nil, nil) },
+		"mismatch": func() { NewMMPP([]float64{1, 2}, []simtime.Duration{simtime.Millis(1)}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// TestArrivalGapsFloored: degenerate configurations (huge rates) must
+// still make forward progress — every gap is at least 1ns.
+func TestArrivalGapsFloored(t *testing.T) {
+	rng := sim.NewRNG(1)
+	p := Poisson{RateHz: 1e12}
+	for i := 0; i < 1000; i++ {
+		if g := p.Next(0, rng); g < 1 {
+			t.Fatalf("gap %v below the 1ns floor", g)
+		}
+	}
+}

@@ -31,6 +31,16 @@ const (
 	// evIOPhase2 re-releases a request after its device wait; Arg0 is the
 	// request's original arrival time.
 	evIOPhase2
+	// evOpenLoopFire sends the next open-loop request and schedules the
+	// following one from the arrival process.
+	evOpenLoopFire
+	// evOpenLoopRelease delivers an open-loop request after the network
+	// delay; Arg0 is the sampled CPU demand in ns (0 = declared slice).
+	evOpenLoopRelease
+	// evEvaderProbe releases one of the tick evader's short learning jobs.
+	evEvaderProbe
+	// evEvaderBurst releases the evader's between-ticks work burst.
+	evEvaderBurst
 )
 
 // DefaultNetworkDelay is the modelled client→server network latency: the

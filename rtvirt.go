@@ -427,6 +427,12 @@ type (
 	FidelityResult = experiments.FidelityResult
 	// FidelityRow is one scheduler comparison under both cost models.
 	FidelityRow = experiments.FidelityRow
+	// AttackConfig tunes the adversarial attack/controller suite.
+	AttackConfig = experiments.AttackConfig
+	// AttackResult is the full adversarial suite record (BENCH_9.json).
+	AttackResult = experiments.AttackResult
+	// AttackRow is one scheduler × accounting row under the tick evader.
+	AttackRow = experiments.AttackRow
 )
 
 // Experiment scenarios re-exported from the drivers.
@@ -492,6 +498,12 @@ var (
 	FidelityAblation      = experiments.FidelityAblation
 	DefaultFidelityConfig = experiments.DefaultFidelityConfig
 	RenderFidelity        = experiments.RenderFidelity
+
+	// Attacks runs the tick-evasion attacker against every scheduler
+	// stack and the adaptive controller's convergence/backoff worlds.
+	Attacks             = experiments.Attacks
+	DefaultAttackConfig = experiments.DefaultAttackConfig
+	RenderAttacks       = experiments.RenderAttacks
 
 	// Defaults for the experiment configs.
 	DefaultFigure3Config = experiments.DefaultFigure3Config
